@@ -1,0 +1,146 @@
+// Command csjbench regenerates the paper's evaluation tables (1-11),
+// its figures (1-3), and the ablation studies, on scaled-down
+// synthesized data.
+//
+// Usage:
+//
+//	csjbench -table 4                 # reproduce Table 4
+//	csjbench -all                     # reproduce Tables 1-11
+//	csjbench -figure 2                # regenerate a paper figure
+//	csjbench -ablation parts          # run one ablation study
+//	csjbench -ablation all            # run every ablation study
+//	csjbench -table 11 -scale 0.005   # smaller/faster scalability sweep
+//
+// Flags -scale, -minsize, and -seed control the synthesized data;
+// -format selects text (default), markdown, or csv output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/opencsj/csj/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "csjbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("csjbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		table    = fs.Int("table", 0, "paper table to reproduce (1-11)")
+		figure   = fs.Int("figure", 0, "paper figure to regenerate (1-3)")
+		all      = fs.Bool("all", false, "reproduce every table (1-11)")
+		ablation = fs.String("ablation", "", "ablation study to run (parts, matcher, skipoffset, normalization, threshold, or all)")
+		report   = fs.Bool("report", false, "emit the full markdown reproduction report (figures + tables + ablations)")
+		scale    = fs.Float64("scale", 0.01, "fraction of the paper's community sizes")
+		minSize  = fs.Int("minsize", 100, "minimum scaled community size")
+		seed     = fs.Int64("seed", 1, "random seed for data synthesis")
+		egoT     = fs.Int("egothreshold", 0, "SuperEGO recursion threshold t (0 = default)")
+		format   = fs.String("format", "text", "output format: text, markdown, or csv")
+		out      = fs.String("o", "", "output file (default stdout)")
+		quiet    = fs.Bool("q", false, "suppress progress lines on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := harness.Config{
+		Scale:        *scale,
+		MinSize:      *minSize,
+		Seed:         *seed,
+		EGOThreshold: *egoT,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+
+	render := func(t *harness.Table) error {
+		var err error
+		switch *format {
+		case "text":
+			err = t.Render(w)
+		case "markdown", "md":
+			err = t.RenderMarkdown(w)
+		case "csv":
+			err = t.RenderCSV(w)
+		default:
+			err = fmt.Errorf("unknown format %q (want text, markdown, or csv)", *format)
+		}
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w)
+		return err
+	}
+
+	switch {
+	case *report:
+		return harness.WriteReport(w, cfg)
+	case *figure != 0:
+		return harness.RenderFigure(*figure, w)
+	case *ablation != "":
+		names := []string{*ablation}
+		if *ablation == "all" {
+			names = names[:0]
+			for name := range harness.Ablations {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+		}
+		for _, name := range names {
+			runAblation, ok := harness.Ablations[name]
+			if !ok {
+				return fmt.Errorf("unknown ablation %q (want parts, matcher, skipoffset, normalization, threshold, or all)", name)
+			}
+			t, err := runAblation(cfg)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *all:
+		for n := 1; n <= 11; n++ {
+			t, err := harness.RunTable(n, cfg)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *table != 0:
+		t, err := harness.RunTable(*table, cfg)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -table, -figure, -all, or -ablation is required")
+	}
+}

@@ -1,0 +1,57 @@
+// Command csjserve runs the CSJ HTTP service: upload communities,
+// compute similarities with any of the six methods, rank candidates,
+// run the two-phase top-k workflow, and maintain incremental joins
+// under follow/unfollow events.
+//
+// Usage:
+//
+//	csjserve -addr :8080
+//
+// Endpoints (JSON):
+//
+//	GET    /healthz
+//	POST   /communities                     {"name", "category", "users": [[...]]}
+//	GET    /communities
+//	GET    /communities/{id}
+//	DELETE /communities/{id}
+//	POST   /similarity                      {"b", "a", "method", "options": {"epsilon": 1}}
+//	POST   /rank                            {"pivot", "candidates", "method", "options"}
+//	POST   /topk                            {"pivot", "candidates", "k", "options"}
+//	POST   /joins                           {"dim", "epsilon"}
+//	GET    /joins/{id}
+//	POST   /joins/{id}/users                {"side": "B", "vector": [...]}
+//	DELETE /joins/{id}/users/{side}/{uid}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/opencsj/csj/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		quiet = flag.Bool("q", false, "suppress request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "csjserve ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(reqLogger),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	csj "github.com/opencsj/csj"
+)
+
+func writeSection3Files(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	b := &csj.Community{Name: "B", Category: -1, Users: []csj.Vector{{3, 4, 2}, {2, 2, 3}}}
+	a := &csj.Community{Name: "A", Category: -1, Users: []csj.Vector{{2, 3, 5}, {2, 3, 1}, {3, 3, 3}}}
+	pb := filepath.Join(dir, "b.csv")
+	pa := filepath.Join(dir, "a.csv")
+	if err := csj.SaveCommunity(pb, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := csj.SaveCommunity(pa, a); err != nil {
+		t.Fatal(err)
+	}
+	return pb, pa
+}
+
+func TestRunSection3(t *testing.T) {
+	pb, pa := writeSection3Files(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-eps", "1", pb, pa}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Ex-MinMax") || !strings.Contains(s, "100.00%") {
+		t.Errorf("output missing expected similarity:\n%s", s)
+	}
+}
+
+func TestRunAllMethodsVerbose(t *testing.T) {
+	pb, pa := writeSection3Files(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-eps", "1", "-method", "all", "-v", "-hk", pb, pa}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, m := range csj.Methods {
+		if !strings.Contains(s, m.String()) {
+			t.Errorf("output missing method %v:\n%s", m, s)
+		}
+	}
+	if !strings.Contains(s, "events:") {
+		t.Error("verbose output missing event statistics")
+	}
+}
+
+func TestRunOrientAndForce(t *testing.T) {
+	pb, pa := writeSection3Files(t)
+	// Swapped without orient: size precondition fails.
+	var out bytes.Buffer
+	if err := run([]string{"-eps", "1", pa, pb}, &out, &out); err == nil {
+		t.Error("expected size-constraint error for swapped pair")
+	}
+	out.Reset()
+	if err := run([]string{"-eps", "1", "-orient", pa, pb}, &out, &out); err != nil {
+		t.Errorf("orient should fix the order: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-eps", "1", "-force", pa, pb}, &out, &out); err != nil {
+		t.Errorf("force should bypass the precondition: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	pb, pa := writeSection3Files(t)
+	var out bytes.Buffer
+	if err := run([]string{pb}, &out, &out); err == nil {
+		t.Error("expected error for a single file argument")
+	}
+	if err := run([]string{"-method", "bogus", pb, pa}, &out, &out); err == nil {
+		t.Error("expected error for an unknown method")
+	}
+	if err := run([]string{pb, filepath.Join(t.TempDir(), "missing.csv")}, &out, &out); err == nil {
+		t.Error("expected error for a missing file")
+	}
+	if err := run([]string{"-notaflag"}, &out, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+}

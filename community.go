@@ -1,0 +1,158 @@
+package csj
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// Vector is a d-dimensional user profile: one non-negative aggregate
+// preference counter per category.
+type Vector = []int32
+
+// Community is a brand page and its subscribers' profiles. All users
+// must share the same dimensionality.
+type Community struct {
+	// Name identifies the community (brand page).
+	Name string
+	// Category is the home-category dimension of the community, or -1
+	// when unknown. Informational only.
+	Category int
+	// Users holds one profile per subscriber.
+	Users []Vector
+}
+
+// Size returns the number of subscribers.
+func (c *Community) Size() int { return len(c.Users) }
+
+// Dim returns the profile dimensionality (0 for an empty community).
+func (c *Community) Dim() int {
+	if len(c.Users) == 0 {
+		return 0
+	}
+	return len(c.Users[0])
+}
+
+// Validate checks that the community is non-empty, dimensionally
+// consistent, and holds no negative counters.
+func (c *Community) Validate() error {
+	return c.internal().Validate(0)
+}
+
+// internal adapts the public community to the internal representation.
+// The user slices are shared, not copied.
+func (c *Community) internal() *vector.Community {
+	users := make([]vector.Vector, len(c.Users))
+	for i, u := range c.Users {
+		users[i] = vector.Vector(u)
+	}
+	return &vector.Community{Name: c.Name, Category: c.Category, Users: users}
+}
+
+// fromInternal adapts an internal community to the public type, sharing
+// the user slices.
+func fromInternal(c *vector.Community) *Community {
+	users := make([]Vector, len(c.Users))
+	for i, u := range c.Users {
+		users[i] = []int32(u)
+	}
+	return &Community{Name: c.Name, Category: c.Category, Users: users}
+}
+
+// Orient returns the pair ordered for CSJ: the less-followed community
+// first (B), the more-followed second (A). Ties keep the input order.
+func Orient(x, y *Community) (b, a *Community) {
+	if x.Size() <= y.Size() {
+		return x, y
+	}
+	return y, x
+}
+
+// Sentinel errors re-exported from the data model.
+var (
+	// ErrSizeConstraint reports a violated ceil(|A|/2) <= |B| <= |A|
+	// precondition.
+	ErrSizeConstraint = vector.ErrSizeConstraint
+	// ErrDimensionMismatch reports communities or users of different
+	// dimensionality.
+	ErrDimensionMismatch = vector.ErrDimensionMismatch
+	// ErrEmptyCommunity reports an empty community.
+	ErrEmptyCommunity = vector.ErrEmptyCommunity
+)
+
+// ErrUnknownMethod reports an unrecognized method name.
+var ErrUnknownMethod = errors.New("csj: unknown method")
+
+// ReadCommunityCSV parses a community from CSV (one user per line,
+// comma-separated counters, optional "# category=N name=..." header).
+func ReadCommunityCSV(r io.Reader) (*Community, error) {
+	c, err := vector.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(c), nil
+}
+
+// WriteCommunityCSV writes the community in the CSV format understood
+// by ReadCommunityCSV.
+func WriteCommunityCSV(w io.Writer, c *Community) error {
+	return vector.WriteCSV(w, c.internal())
+}
+
+// ReadCommunityBinary parses a community from the compact binary format.
+func ReadCommunityBinary(r io.Reader) (*Community, error) {
+	c, err := vector.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(c), nil
+}
+
+// WriteCommunityBinary writes the community in the compact binary
+// format understood by ReadCommunityBinary.
+func WriteCommunityBinary(w io.Writer, c *Community) error {
+	return vector.WriteBinary(w, c.internal())
+}
+
+// LoadCommunity reads a community file, selecting the format by
+// extension: ".csv" for CSV, anything else for binary.
+func LoadCommunity(path string) (*Community, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if isCSVPath(path) {
+		return ReadCommunityCSV(f)
+	}
+	return ReadCommunityBinary(f)
+}
+
+// SaveCommunity writes a community file, selecting the format by
+// extension like LoadCommunity.
+func SaveCommunity(path string, c *Community) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if isCSVPath(path) {
+		werr = WriteCommunityCSV(f, c)
+	} else {
+		werr = WriteCommunityBinary(f, c)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("csj: saving %s: %w", path, werr)
+	}
+	return nil
+}
+
+func isCSVPath(path string) bool {
+	return len(path) >= 4 && path[len(path)-4:] == ".csv"
+}

@@ -1,0 +1,106 @@
+// Streaming community similarity with the incremental join.
+//
+// Online systems gain and lose subscribers continuously. Instead of
+// recomputing CSJ from scratch after every follow/unfollow event, an
+// IncrementalJoin repairs its one-to-one matching with at most one
+// augmenting-path search per event, so the similarity of a tracked
+// community pair is always available in O(1).
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	csj "github.com/opencsj/csj"
+)
+
+const (
+	dims    = 27
+	epsilon = 1
+)
+
+func profile(rng *rand.Rand) csj.Vector {
+	u := make(csj.Vector, dims)
+	likes := 100 + rng.Intn(400)
+	for i := 0; i < likes; i++ {
+		u[rng.Intn(dims)]++
+	}
+	return u
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(2024))
+
+	join, err := csj.NewIncrementalJoin(dims, &csj.Options{Epsilon: epsilon})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bootstrap: community A ("Nike") has 800 subscribers; community B
+	// ("Adidas") has 600, a quarter of which are shared people (same
+	// profile on both pages).
+	var aProfiles []csj.Vector
+	for i := 0; i < 800; i++ {
+		u := profile(rng)
+		aProfiles = append(aProfiles, u)
+		if _, err := join.AddA(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var bIDs []int
+	for i := 0; i < 600; i++ {
+		var u csj.Vector
+		if i < 150 { // shared subscribers
+			u = append(csj.Vector(nil), aProfiles[rng.Intn(len(aProfiles))]...)
+		} else {
+			u = profile(rng)
+		}
+		id, err := join.AddB(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bIDs = append(bIDs, id)
+	}
+	report := func(event string) {
+		sim, err := join.Similarity()
+		if err != nil {
+			fmt.Printf("%-34s |B|=%d |A|=%d similarity unavailable: %v\n",
+				event, join.SizeB(), join.SizeA(), err)
+			return
+		}
+		fmt.Printf("%-34s |B|=%d |A|=%d matched=%d similarity=%.2f%%\n",
+			event, join.SizeB(), join.SizeA(), join.Matched(), 100*sim)
+	}
+	report("bootstrap")
+
+	// Event stream: a marketing campaign brings shared fans to B...
+	for i := 0; i < 120; i++ {
+		u := append(csj.Vector(nil), aProfiles[rng.Intn(len(aProfiles))]...)
+		id, err := join.AddB(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bIDs = append(bIDs, id)
+	}
+	report("after campaign (+120 shared fans)")
+
+	// ... then churn: 100 random B subscribers unfollow.
+	rng.Shuffle(len(bIDs), func(i, j int) { bIDs[i], bIDs[j] = bIDs[j], bIDs[i] })
+	for _, id := range bIDs[:100] {
+		if err := join.RemoveB(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("after churn (-100 B subscribers)")
+
+	// A grows meanwhile.
+	for i := 0; i < 200; i++ {
+		if _, err := join.AddA(profile(rng)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("after A growth (+200)")
+}

@@ -1,0 +1,3 @@
+module github.com/opencsj/csj
+
+go 1.22

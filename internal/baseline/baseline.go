@@ -1,0 +1,97 @@
+// Package baseline implements the paper's Baseline competitor methods
+// (Section 5.1): plain nested-loop joins over the raw user vectors,
+// without the MinMax encoding.
+//
+// Ap-Baseline scans A for each b and greedily takes the first match,
+// consuming the matched A user; the skip/offset mechanism fast-forwards
+// over the consumed prefix. Ex-Baseline first finds all matches with a
+// full nested-loop join and then calls the matcher (CSF by default)
+// once.
+package baseline
+
+import (
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/matching"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// Options configure a Baseline run.
+type Options struct {
+	// Eps is the per-dimension absolute-difference threshold (>= 0).
+	Eps int32
+	// Matcher resolves the full match graph of the exact method; nil
+	// selects CSF. Ignored by ApBaseline.
+	Matcher matching.Matcher
+	// DisableSkipOffset turns off the consumed-prefix fast-forwarding of
+	// the approximate method (ablation only).
+	DisableSkipOffset bool
+}
+
+func (o *Options) matcher() matching.Matcher {
+	if o.Matcher == nil {
+		return matching.CSF
+	}
+	return o.Matcher
+}
+
+// ApBaseline runs the approximate Baseline: a nested loop, outer over B
+// and inner over A, taking the first match for each b.
+func ApBaseline(b, a *vector.Community, opts Options) (*core.Result, error) {
+	if err := checkInputs(b, a, &opts); err != nil {
+		return nil, err
+	}
+	res := &core.Result{}
+	used := make([]bool, a.Size())
+	offset := 0
+	for bi, ub := range b.Users {
+		skip := true
+		for ai := offset; ai < len(a.Users); ai++ {
+			if used[ai] {
+				// The consumed prefix can be skipped for every later b.
+				if skip && !opts.DisableSkipOffset {
+					offset = ai + 1
+					res.Events.OffsetAdvances++
+				}
+				continue
+			}
+			skip = false
+			if vector.MatchEpsilon(ub, a.Users[ai], opts.Eps) {
+				res.Events.Matches++
+				used[ai] = true
+				res.Pairs = append(res.Pairs, matching.Pair{B: int32(bi), A: int32(ai)})
+				break
+			}
+			res.Events.NoMatches++
+		}
+	}
+	return res, nil
+}
+
+// ExBaseline runs the exact Baseline: a full nested-loop join collecting
+// every matching pair, then a single matcher (CSF) call.
+func ExBaseline(b, a *vector.Community, opts Options) (*core.Result, error) {
+	if err := checkInputs(b, a, &opts); err != nil {
+		return nil, err
+	}
+	res := &core.Result{}
+	g := matching.NewGraph()
+	for bi, ub := range b.Users {
+		for ai, ua := range a.Users {
+			if vector.MatchEpsilon(ub, ua, opts.Eps) {
+				res.Events.Matches++
+				g.AddEdge(int32(bi), int32(ai))
+			} else {
+				res.Events.NoMatches++
+			}
+		}
+	}
+	if g.Edges() > 0 {
+		res.Events.CSFCalls++
+		res.Pairs = opts.matcher()(g)
+	}
+	return res, nil
+}
+
+func checkInputs(b, a *vector.Community, opts *Options) error {
+	return core.ValidateInputs(b, a, opts.Eps)
+}

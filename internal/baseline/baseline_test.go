@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/matching"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+func randCommunity(rng *rand.Rand, name string, n, d int, maxVal int32) *vector.Community {
+	users := make([]vector.Vector, n)
+	for i := range users {
+		u := make(vector.Vector, d)
+		for j := range u {
+			u[j] = rng.Int31n(maxVal + 1)
+		}
+		users[i] = u
+	}
+	return &vector.Community{Name: name, Category: -1, Users: users}
+}
+
+func checkValid(t *testing.T, b, a *vector.Community, res *core.Result, eps int32) {
+	t.Helper()
+	seenB := map[int32]bool{}
+	seenA := map[int32]bool{}
+	for _, p := range res.Pairs {
+		if seenB[p.B] || seenA[p.A] {
+			t.Fatalf("pairs not one-to-one at %v", p)
+		}
+		seenB[p.B], seenA[p.A] = true, true
+		if !vector.MatchEpsilon(b.Users[p.B], a.Users[p.A], eps) {
+			t.Fatalf("pair %v violates the epsilon condition", p)
+		}
+	}
+}
+
+func TestSection3Example(t *testing.T) {
+	b := &vector.Community{Name: "B", Users: []vector.Vector{{3, 4, 2}, {2, 2, 3}}}
+	a := &vector.Community{Name: "A", Users: []vector.Vector{{2, 3, 5}, {2, 3, 1}, {3, 3, 3}}}
+
+	ex, err := ExBaseline(b, a, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, b, a, ex, 1)
+	if got := ex.Similarity(b.Size()); got != 1.0 {
+		t.Errorf("Ex-Baseline similarity = %.2f, want 1.00", got)
+	}
+
+	// Ap-Baseline scans B in its original order: b1 greedily takes a2
+	// (its first match), leaving a3 free for b2 — 100% here as well.
+	ap, err := ApBaseline(b, a, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, b, a, ap, 1)
+	if got := ap.Similarity(b.Size()); got != 1.0 {
+		t.Errorf("Ap-Baseline similarity = %.2f, want 1.00", got)
+	}
+}
+
+// The paper's example of approximate inaccuracy: if b1 is scanned first
+// and its first available match is a3, b2 is left unmatched. Reordering
+// A so that a3 comes first provokes exactly that.
+func TestApBaselineGreedyFalseMiss(t *testing.T) {
+	b := &vector.Community{Name: "B", Users: []vector.Vector{{3, 4, 2}, {2, 2, 3}}}
+	a := &vector.Community{Name: "A", Users: []vector.Vector{{3, 3, 3}, {2, 3, 5}, {2, 3, 1}}}
+	ap, err := ApBaseline(b, a, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, b, a, ap, 1)
+	if got := ap.Similarity(b.Size()); got != 0.5 {
+		t.Errorf("Ap-Baseline similarity = %.2f, want 0.50 (greedy false miss)", got)
+	}
+	// The exact method is immune to the ordering.
+	ex, err := ExBaseline(b, a, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Similarity(b.Size()); got != 1.0 {
+		t.Errorf("Ex-Baseline similarity = %.2f, want 1.00", got)
+	}
+}
+
+// Ex-Baseline with Hopcroft–Karp is the reference optimum; with CSF it
+// must stay within it. Ap-Baseline is maximal, hence at least half the
+// optimum.
+func TestBaselineRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + rng.Intn(8)
+		eps := rng.Int31n(3)
+		b := randCommunity(rng, "B", 1+rng.Intn(50), d, int32(2+rng.Intn(15)))
+		a := randCommunity(rng, "A", 1+rng.Intn(50), d, int32(2+rng.Intn(15)))
+
+		hk, err := ExBaseline(b, a, Options{Eps: eps, Matcher: matching.HopcroftKarp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, b, a, hk, eps)
+		opt := len(hk.Pairs)
+
+		csf, err := ExBaseline(b, a, Options{Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, b, a, csf, eps)
+		if len(csf.Pairs) > opt {
+			t.Fatalf("CSF (%d) exceeded the optimum (%d)", len(csf.Pairs), opt)
+		}
+
+		ap, err := ApBaseline(b, a, Options{Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, b, a, ap, eps)
+		if len(ap.Pairs) > opt {
+			t.Fatalf("Ap-Baseline (%d) exceeded the optimum (%d)", len(ap.Pairs), opt)
+		}
+		if 2*len(ap.Pairs) < opt {
+			t.Fatalf("Ap-Baseline (%d) below half the optimum (%d): not maximal",
+				len(ap.Pairs), opt)
+		}
+	}
+}
+
+// Ap-Baseline results must be unchanged by the skip/offset ablation.
+func TestApBaselineSkipOffsetAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		b := randCommunity(rng, "B", 5+rng.Intn(30), 4, 6)
+		a := randCommunity(rng, "A", 5+rng.Intn(30), 4, 6)
+		r1, _ := ApBaseline(b, a, Options{Eps: 1})
+		r2, _ := ApBaseline(b, a, Options{Eps: 1, DisableSkipOffset: true})
+		if len(r1.Pairs) != len(r2.Pairs) {
+			t.Fatalf("skip/offset changed Ap-Baseline results: %d vs %d", len(r1.Pairs), len(r2.Pairs))
+		}
+		for i := range r1.Pairs {
+			if r1.Pairs[i] != r2.Pairs[i] {
+				t.Fatalf("pair %d differs: %v vs %v", i, r1.Pairs[i], r2.Pairs[i])
+			}
+		}
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	good := &vector.Community{Name: "g", Users: []vector.Vector{{1}}}
+	empty := &vector.Community{Name: "e"}
+	if _, err := ApBaseline(empty, good, Options{Eps: 1}); err == nil {
+		t.Error("expected error for empty B")
+	}
+	if _, err := ExBaseline(good, empty, Options{Eps: 1}); err == nil {
+		t.Error("expected error for empty A")
+	}
+	if _, err := ApBaseline(good, good, Options{Eps: -2}); err == nil {
+		t.Error("expected error for negative epsilon")
+	}
+}
+
+func TestExBaselineEventCounts(t *testing.T) {
+	b := &vector.Community{Name: "B", Users: []vector.Vector{{0}, {5}}}
+	a := &vector.Community{Name: "A", Users: []vector.Vector{{0}, {5}, {9}}}
+	res, err := ExBaseline(b, a, Options{Eps: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full nested loop: 6 comparisons, 2 matches, 4 non-matches, 1 CSF.
+	if res.Events.Matches != 2 || res.Events.NoMatches != 4 || res.Events.CSFCalls != 1 {
+		t.Errorf("events = %+v, want 2 matches, 4 no-matches, 1 CSF call", res.Events)
+	}
+	if got := res.Events.Comparisons(); got != 6 {
+		t.Errorf("Comparisons = %d, want 6", got)
+	}
+}

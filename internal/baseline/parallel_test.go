@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/matching"
+)
+
+func TestExBaselineParallelEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		d := 1 + rng.Intn(6)
+		eps := rng.Int31n(3)
+		b := randCommunity(rng, "B", 5+rng.Intn(60), d, 10)
+		a := randCommunity(rng, "A", 5+rng.Intn(60), d, 10)
+		opts := Options{Eps: eps, Matcher: matching.HopcroftKarp}
+		serial, err := ExBaseline(b, a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 999} {
+			par, err := ExBaselineParallel(b, a, opts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkValid(t, b, a, par, eps)
+			if len(par.Pairs) != len(serial.Pairs) {
+				t.Fatalf("workers=%d: %d pairs, serial found %d",
+					workers, len(par.Pairs), len(serial.Pairs))
+			}
+			// The full nested loop sees every pair in both variants.
+			if par.Events.Comparisons() != serial.Events.Comparisons() {
+				t.Fatalf("workers=%d: %d comparisons, serial did %d",
+					workers, par.Events.Comparisons(), serial.Events.Comparisons())
+			}
+		}
+	}
+}
+
+func TestExBaselineParallelSingleWorkerDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	b := randCommunity(rng, "B", 20, 3, 6)
+	a := randCommunity(rng, "A", 25, 3, 6)
+	serial, _ := ExBaseline(b, a, Options{Eps: 1})
+	par, err := ExBaselineParallel(b, a, Options{Eps: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Pairs) != len(serial.Pairs) {
+		t.Error("workers=1 should delegate to the serial algorithm")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/opencsj/csj/internal/encoding"
+	"github.com/opencsj/csj/internal/matching"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// Options configure a MinMax run.
+type Options struct {
+	// Eps is the per-dimension absolute-difference threshold (>= 0).
+	Eps int32
+	// Parts is the number of encoding parts; 0 selects the paper's
+	// default of 4 (clamped to the dimensionality when d < Parts).
+	Parts int
+	// Matcher resolves segments of the exact algorithm into one-to-one
+	// pairs; nil selects CSF. Ignored by ApMinMax.
+	Matcher matching.Matcher
+	// Trace, when non-nil, records the full event sequence.
+	Trace *Trace
+	// DisableSkipOffset turns off the skip/offset fast-forwarding
+	// (ablation only; results are identical).
+	DisableSkipOffset bool
+}
+
+func (o *Options) parts(d int) int {
+	p := o.Parts
+	if p == 0 {
+		p = encoding.DefaultParts
+	}
+	if p > d {
+		p = d
+	}
+	return p
+}
+
+func (o *Options) matcher() matching.Matcher {
+	if o.Matcher == nil {
+		return matching.CSF
+	}
+	return o.Matcher
+}
+
+// Result is the outcome of one CSJ method run.
+type Result struct {
+	// Pairs holds the matched user pairs with real user IDs (indexes
+	// into the communities' Users slices).
+	Pairs []matching.Pair
+	// Events counts the pairing events of the run.
+	Events Events
+}
+
+// Similarity returns |pairs| / |B| for the given B size, the paper's
+// Eq. (1) with p = 1.
+func (r *Result) Similarity(sizeB int) float64 {
+	if sizeB == 0 {
+		return 0
+	}
+	return float64(len(r.Pairs)) / float64(sizeB)
+}
+
+// ValidateInputs performs the input checks shared by every CSJ method:
+// non-empty communities, equal dimensionality, non-negative epsilon.
+// (The CSJ size precondition ceil(|A|/2) <= |B| <= |A| is a semantic
+// constraint enforced by the public API, not by the algorithms.)
+func ValidateInputs(b, a *vector.Community, eps int32) error {
+	if b.Size() == 0 || a.Size() == 0 {
+		return vector.ErrEmptyCommunity
+	}
+	if b.Dim() != a.Dim() {
+		return fmt.Errorf("%w: B has %d dimensions, A has %d",
+			vector.ErrDimensionMismatch, b.Dim(), a.Dim())
+	}
+	if eps < 0 {
+		return fmt.Errorf("core: epsilon %d must be non-negative", eps)
+	}
+	return nil
+}
+
+func validate(b, a *vector.Community, opts *Options) error {
+	return ValidateInputs(b, a, opts.Eps)
+}
+
+// encComparer is the production Comparer: the paper's lines 11-12 —
+// check complete part/range overlap, then compare the d-dimensional
+// vectors under the per-dimension epsilon condition.
+type encComparer struct {
+	bb  *encoding.BBuffer
+	ab  *encoding.ABuffer
+	ub  []vector.Vector
+	ua  []vector.Vector
+	eps int32
+}
+
+func (c *encComparer) Compare(bPos, aPos int) Outcome {
+	eB, eA := &c.bb.Entries[bPos], &c.ab.Entries[aPos]
+	if !encoding.PartsOverlap(eB, eA) {
+		return OutcomeNoOverlap
+	}
+	if vector.MatchEpsilon(c.ub[eB.Ref], c.ua[eA.Ref], c.eps) {
+		return OutcomeMatch
+	}
+	return OutcomeNoMatch
+}
+
+// encode builds the sorted buffers and the Input view for a community
+// pair.
+func encode(b, a *vector.Community, opts *Options) (*Input, *encoding.BBuffer, *encoding.ABuffer, error) {
+	layout, err := encoding.NewLayout(b.Dim(), opts.parts(b.Dim()))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bb := encoding.EncodeB(b, layout)
+	ab := encoding.EncodeA(a, layout, opts.Eps)
+	in := &Input{
+		BID:               make([]int64, len(bb.Entries)),
+		AMin:              make([]int64, len(ab.Entries)),
+		AMax:              make([]int64, len(ab.Entries)),
+		DisableSkipOffset: opts.DisableSkipOffset,
+	}
+	for i := range bb.Entries {
+		in.BID[i] = bb.Entries[i].ID
+	}
+	for i := range ab.Entries {
+		in.AMin[i] = ab.Entries[i].Min
+		in.AMax[i] = ab.Entries[i].Max
+	}
+	in.Cmp = &encComparer{bb: bb, ab: ab, ub: b.Users, ua: a.Users, eps: opts.Eps}
+	return in, bb, ab, nil
+}
+
+func translate(pairs [][2]int, bb *encoding.BBuffer, ab *encoding.ABuffer) []matching.Pair {
+	out := make([]matching.Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = matching.Pair{B: bb.Entries[p[0]].Ref, A: ab.Entries[p[1]].Ref}
+	}
+	return out
+}
+
+// ApMinMax runs the approximate MinMax method (Algorithm Ap-MinMax) on
+// communities b and a.
+func ApMinMax(b, a *vector.Community, opts Options) (*Result, error) {
+	if err := validate(b, a, &opts); err != nil {
+		return nil, err
+	}
+	in, bb, ab, err := encode(b, a, &opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	pairs := apScan(in, &res.Events, opts.Trace)
+	res.Pairs = translate(pairs, bb, ab)
+	return res, nil
+}
+
+// ExMinMax runs the exact MinMax method (Algorithm Ex-MinMax) on
+// communities b and a.
+func ExMinMax(b, a *vector.Community, opts Options) (*Result, error) {
+	if err := validate(b, a, &opts); err != nil {
+		return nil, err
+	}
+	in, bb, ab, err := encode(b, a, &opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	pairs := exScan(in, opts.matcher(), &res.Events, opts.Trace)
+	res.Pairs = translate(pairs, bb, ab)
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/opencsj/csj/internal/matching"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// ExMinMaxParallel is the multi-worker variant of Ex-MinMax. The sorted
+// Encd_B buffer is partitioned into contiguous chunks, each worker
+// window-scans its chunk against Encd_A collecting matches into a
+// private graph, the graphs merge, and a single matcher call resolves
+// the one-to-one pairs.
+//
+// The result is a maximum matching of exactly the same candidate graph
+// the serial algorithm sees, so with the Hopcroft–Karp matcher the pair
+// count is identical to the serial run; with CSF it may differ by the
+// heuristic's tie-breaking (both are valid exact answers). The paper
+// evaluates single-threaded runs; this entry point exists because the
+// scan phase is embarrassingly parallel over B.
+func ExMinMaxParallel(b, a *vector.Community, opts Options, workers int) (*Result, error) {
+	if workers <= 1 {
+		return ExMinMax(b, a, opts)
+	}
+	if err := validate(b, a, &opts); err != nil {
+		return nil, err
+	}
+	in, bb, ab, err := encode(b, a, &opts)
+	if err != nil {
+		return nil, err
+	}
+	if workers > len(in.BID) {
+		workers = len(in.BID)
+	}
+
+	type shard struct {
+		graph  *matching.Graph
+		events Events
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	chunk := (len(in.BID) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(in.BID) {
+			hi = len(in.BID)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shards[w].graph = matching.NewGraph()
+			scanWindowCollect(in, lo, hi, shards[w].graph, &shards[w].events)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	res := &Result{}
+	merged := matching.NewGraph()
+	for w := range shards {
+		if shards[w].graph == nil {
+			continue
+		}
+		res.Events.Add(shards[w].events)
+		for _, bPos := range shards[w].graph.BUsers() {
+			for _, aPos := range shards[w].graph.Matches(bPos) {
+				merged.AddEdge(bPos, aPos)
+			}
+		}
+	}
+	if merged.Edges() > 0 {
+		res.Events.CSFCalls++
+		pairs := opts.matcher()(merged)
+		positions := make([][2]int, len(pairs))
+		for i, p := range pairs {
+			positions[i] = [2]int{int(p.B), int(p.A)}
+		}
+		res.Pairs = translate(positions, bb, ab)
+	}
+	return res, nil
+}
+
+// scanWindowCollect runs the Ex-MinMax window scan for B positions
+// [lo, hi) against the full A buffer, collecting every match into g.
+// It applies MIN PRUNE and the per-chunk skip/offset fast-forwarding
+// but no segment flushing (the caller matches globally).
+func scanWindowCollect(in *Input, lo, hi int, g *matching.Graph, ev *Events) {
+	offset := 0
+	for bi := lo; bi < hi; bi++ {
+		skip := true
+		id := in.BID[bi]
+	scanA:
+		for ai := offset; ai < len(in.AMin); ai++ {
+			switch {
+			case id < in.AMin[ai]:
+				ev.MinPrunes++
+				break scanA
+			case id <= in.AMax[ai]:
+				skip = false
+				switch in.Cmp.Compare(bi, ai) {
+				case OutcomeNoOverlap:
+					ev.NoOverlaps++
+				case OutcomeNoMatch:
+					ev.NoMatches++
+				case OutcomeMatch:
+					ev.Matches++
+					g.AddEdge(int32(bi), int32(ai))
+				}
+			default:
+				ev.MaxPrunes++
+				if skip && !in.DisableSkipOffset {
+					offset = ai + 1
+					ev.OffsetAdvances++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/matching"
+)
+
+// ExMinMaxParallel with the Hopcroft–Karp matcher must equal the serial
+// optimum for every worker count, and the merged candidate graph must
+// contain exactly the serial match events.
+func TestExMinMaxParallelEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 15; trial++ {
+		d := 1 + rng.Intn(8)
+		eps := rng.Int31n(3)
+		b := randCommunity(rng, "B", 10+rng.Intn(80), d, 12)
+		a := randCommunity(rng, "A", 10+rng.Intn(80), d, 12)
+		serial, err := ExMinMax(b, a, Options{Eps: eps, Matcher: matching.HopcroftKarp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 7, 1000} {
+			par, err := ExMinMaxParallel(b, a, Options{Eps: eps, Matcher: matching.HopcroftKarp}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkValidResult(t, b, a, par, eps)
+			if len(par.Pairs) != len(serial.Pairs) {
+				t.Fatalf("workers=%d: %d pairs, serial found %d", workers, len(par.Pairs), len(serial.Pairs))
+			}
+			if par.Events.Matches != serial.Events.Matches {
+				t.Fatalf("workers=%d: %d match events, serial saw %d",
+					workers, par.Events.Matches, serial.Events.Matches)
+			}
+		}
+	}
+}
+
+func TestExMinMaxParallelSingleWorkerDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	b := randCommunity(rng, "B", 30, 4, 8)
+	a := randCommunity(rng, "A", 40, 4, 8)
+	serial, err := ExMinMax(b, a, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExMinMaxParallel(b, a, Options{Eps: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Pairs) != len(serial.Pairs) {
+		t.Errorf("workers=1 should delegate to the serial algorithm")
+	}
+}
+
+func TestExMinMaxParallelValidation(t *testing.T) {
+	good := randCommunity(rand.New(rand.NewSource(1)), "g", 5, 2, 5)
+	if _, err := ExMinMaxParallel(good, good, Options{Eps: -1}, 4); err == nil {
+		t.Error("expected validation error")
+	}
+}

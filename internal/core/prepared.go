@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/opencsj/csj/internal/encoding"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// Prepared caches both roles of a community's MinMax encoding — the
+// Encd_B buffer it needs as the smaller side and the Encd_A buffer it
+// needs as the larger side — so that joining N communities pairwise
+// encodes each community once instead of O(N) times. The paper's
+// broadcast-recommendation scenario ("the online system applies CSJ to
+// a variety of community pairs") is exactly this workload.
+type Prepared struct {
+	comm   *vector.Community
+	layout *encoding.Layout
+	eps    int32
+	bb     *encoding.BBuffer
+	ab     *encoding.ABuffer
+}
+
+// Prepare encodes the community for repeated MinMax joins under the
+// given epsilon and part count.
+func Prepare(c *vector.Community, opts Options) (*Prepared, error) {
+	if c.Size() == 0 {
+		return nil, vector.ErrEmptyCommunity
+	}
+	if opts.Eps < 0 {
+		return nil, fmt.Errorf("core: epsilon %d must be non-negative", opts.Eps)
+	}
+	layout, err := encoding.NewLayout(c.Dim(), opts.parts(c.Dim()))
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		comm:   c,
+		layout: layout,
+		eps:    opts.Eps,
+		bb:     encoding.EncodeB(c, layout),
+		ab:     encoding.EncodeA(c, layout, opts.Eps),
+	}, nil
+}
+
+// Community returns the underlying community.
+func (p *Prepared) Community() *vector.Community { return p.comm }
+
+// Size returns the community size.
+func (p *Prepared) Size() int { return p.comm.Size() }
+
+// compatible checks that two prepared communities can be joined.
+func compatible(b, a *Prepared) error {
+	if b.comm.Dim() != a.comm.Dim() {
+		return fmt.Errorf("%w: B has %d dimensions, A has %d",
+			vector.ErrDimensionMismatch, b.comm.Dim(), a.comm.Dim())
+	}
+	if b.eps != a.eps {
+		return fmt.Errorf("core: prepared communities disagree on epsilon (%d vs %d)", b.eps, a.eps)
+	}
+	if b.layout.Parts() != a.layout.Parts() {
+		return fmt.Errorf("core: prepared communities disagree on parts (%d vs %d)",
+			b.layout.Parts(), a.layout.Parts())
+	}
+	return nil
+}
+
+// input assembles the scan view of a prepared pair, reusing the cached
+// buffers (b plays the B role, a the A role).
+func preparedInput(b, a *Prepared, disableSkipOffset bool) *Input {
+	in := &Input{
+		BID:               make([]int64, len(b.bb.Entries)),
+		AMin:              make([]int64, len(a.ab.Entries)),
+		AMax:              make([]int64, len(a.ab.Entries)),
+		DisableSkipOffset: disableSkipOffset,
+	}
+	for i := range b.bb.Entries {
+		in.BID[i] = b.bb.Entries[i].ID
+	}
+	for i := range a.ab.Entries {
+		in.AMin[i] = a.ab.Entries[i].Min
+		in.AMax[i] = a.ab.Entries[i].Max
+	}
+	in.Cmp = &encComparer{bb: b.bb, ab: a.ab, ub: b.comm.Users, ua: a.comm.Users, eps: b.eps}
+	return in
+}
+
+// ApMinMaxPrepared runs Ap-MinMax on two prepared communities.
+func ApMinMaxPrepared(b, a *Prepared, opts Options) (*Result, error) {
+	if err := compatible(b, a); err != nil {
+		return nil, err
+	}
+	in := preparedInput(b, a, opts.DisableSkipOffset)
+	res := &Result{}
+	pairs := apScan(in, &res.Events, opts.Trace)
+	res.Pairs = translate(pairs, b.bb, a.ab)
+	return res, nil
+}
+
+// ExMinMaxPrepared runs Ex-MinMax on two prepared communities.
+func ExMinMaxPrepared(b, a *Prepared, opts Options) (*Result, error) {
+	if err := compatible(b, a); err != nil {
+		return nil, err
+	}
+	in := preparedInput(b, a, opts.DisableSkipOffset)
+	res := &Result{}
+	pairs := exScan(in, opts.matcher(), &res.Events, opts.Trace)
+	res.Pairs = translate(pairs, b.bb, a.ab)
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/opencsj/csj/internal/encoding"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// On-disk format for a prepared community (little-endian):
+//
+//	magic "CSJP\x01"
+//	int32 epsilon
+//	the community in the vector binary format
+//	the encoded buffers in the encoding buffers format
+//
+// Loading restores the exact cached state without re-encoding; a
+// sanity pass cross-checks the buffers against the stored vectors.
+
+const preparedMagic = "CSJP\x01"
+
+// WritePrepared serializes a prepared community.
+func WritePrepared(w io.Writer, p *Prepared) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(preparedMagic); err != nil {
+		return err
+	}
+	var epsBuf [4]byte
+	binary.LittleEndian.PutUint32(epsBuf[:], uint32(p.eps))
+	if _, err := bw.Write(epsBuf[:]); err != nil {
+		return err
+	}
+	if err := vector.WriteBinary(bw, p.comm); err != nil {
+		return err
+	}
+	if err := encoding.WriteBuffers(bw, p.bb, p.ab); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPrepared parses a prepared community written by WritePrepared.
+func ReadPrepared(r io.Reader) (*Prepared, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(preparedMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading prepared magic: %w", err)
+	}
+	if string(magic) != preparedMagic {
+		return nil, fmt.Errorf("core: bad prepared magic %q", magic)
+	}
+	var epsBuf [4]byte
+	if _, err := io.ReadFull(br, epsBuf[:]); err != nil {
+		return nil, fmt.Errorf("core: reading prepared epsilon: %w", err)
+	}
+	eps := int32(binary.LittleEndian.Uint32(epsBuf[:]))
+	if eps < 0 {
+		return nil, fmt.Errorf("core: prepared epsilon %d is negative", eps)
+	}
+	comm, err := vector.ReadBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading prepared community: %w", err)
+	}
+	bb, ab, err := encoding.ReadBuffers(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading prepared buffers: %w", err)
+	}
+	if bb.Layout.Dim() != comm.Dim() {
+		return nil, fmt.Errorf("core: prepared buffers are %d-dimensional, community is %d",
+			bb.Layout.Dim(), comm.Dim())
+	}
+	if len(bb.Entries) != comm.Size() || len(ab.Entries) != comm.Size() {
+		return nil, fmt.Errorf("core: prepared buffers hold %d/%d entries, community has %d users",
+			len(bb.Entries), len(ab.Entries), comm.Size())
+	}
+	// Cross-check a sample of entries against the stored vectors so a
+	// corrupted (but well-formed) file cannot poison later joins.
+	for _, i := range sampleIndexes(comm.Size()) {
+		e := &bb.Entries[i]
+		if int(e.Ref) >= comm.Size() || e.ID != comm.Users[e.Ref].Sum() {
+			return nil, fmt.Errorf("core: prepared B entry %d does not match its vector", i)
+		}
+	}
+	return &Prepared{comm: comm, layout: bb.Layout, eps: eps, bb: bb, ab: ab}, nil
+}
+
+// sampleIndexes returns a deterministic spread of indexes to verify.
+func sampleIndexes(n int) []int {
+	if n <= 8 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	step := n / 8
+	out := make([]int, 0, 8)
+	for i := 0; i < n; i += step {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/matching"
+)
+
+func TestPreparedEqualsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 10; trial++ {
+		d := 1 + rng.Intn(8)
+		eps := rng.Int31n(3)
+		b := randCommunity(rng, "B", 10+rng.Intn(50), d, 10)
+		a := randCommunity(rng, "A", 10+rng.Intn(50), d, 10)
+		opts := Options{Eps: eps}
+		pb, err := Prepare(b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := Prepare(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apDirect, _ := ApMinMax(b, a, opts)
+		apPrep, err := ApMinMaxPrepared(pb, pa, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(apDirect.Pairs) != len(apPrep.Pairs) {
+			t.Fatalf("Ap: direct %d pairs, prepared %d", len(apDirect.Pairs), len(apPrep.Pairs))
+		}
+		exDirect, _ := ExMinMax(b, a, opts)
+		exPrep, err := ExMinMaxPrepared(pb, pa, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exDirect.Pairs) != len(exPrep.Pairs) {
+			t.Fatalf("Ex: direct %d pairs, prepared %d", len(exDirect.Pairs), len(exPrep.Pairs))
+		}
+	}
+}
+
+// Preparing once and playing both roles (B in one join, A in another)
+// must give the same results as direct joins.
+func TestPreparedPlaysBothRoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	opts := Options{Eps: 1}
+	x := randCommunity(rng, "x", 40, 5, 8)
+	y := randCommunity(rng, "y", 50, 5, 8)
+	z := randCommunity(rng, "z", 45, 5, 8)
+	px, _ := Prepare(x, opts)
+	py, _ := Prepare(y, opts)
+	pz, _ := Prepare(z, opts)
+
+	// x as B against y, and as A against z.
+	r1, err := ExMinMaxPrepared(px, py, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := ExMinMax(x, y, opts)
+	if len(r1.Pairs) != len(d1.Pairs) {
+		t.Errorf("x-as-B: prepared %d, direct %d", len(r1.Pairs), len(d1.Pairs))
+	}
+	r2, err := ExMinMaxPrepared(pz, px, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := ExMinMax(z, x, opts)
+	if len(r2.Pairs) != len(d2.Pairs) {
+		t.Errorf("x-as-A: prepared %d, direct %d", len(r2.Pairs), len(d2.Pairs))
+	}
+}
+
+func TestPreparedCompatibilityChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	c5 := randCommunity(rng, "c5", 20, 5, 8)
+	c6 := randCommunity(rng, "c6", 20, 6, 8)
+	p5, _ := Prepare(c5, Options{Eps: 1})
+	p6, _ := Prepare(c6, Options{Eps: 1})
+	if _, err := ExMinMaxPrepared(p5, p6, Options{Eps: 1}); err == nil {
+		t.Error("expected dimension mismatch error")
+	}
+	pEps2, _ := Prepare(c5, Options{Eps: 2})
+	if _, err := ExMinMaxPrepared(p5, pEps2, Options{Eps: 1}); err == nil {
+		t.Error("expected epsilon mismatch error")
+	}
+	pParts2, _ := Prepare(c5, Options{Eps: 1, Parts: 2})
+	if _, err := ExMinMaxPrepared(p5, pParts2, Options{Eps: 1}); err == nil {
+		t.Error("expected parts mismatch error")
+	}
+}
+
+func TestPrepareValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	c := randCommunity(rng, "c", 5, 3, 5)
+	if _, err := Prepare(c, Options{Eps: -1}); err == nil {
+		t.Error("expected error for negative epsilon")
+	}
+	empty := randCommunity(rng, "e", 1, 3, 5)
+	empty.Users = nil
+	if _, err := Prepare(empty, Options{Eps: 1}); err == nil {
+		t.Error("expected error for empty community")
+	}
+}
+
+func TestPreparedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := randCommunity(rng, "roundtrip", 60, 7, 12)
+	p, err := Prepare(c, Options{Eps: 2, Parts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePrepared(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPrepared(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != p.Size() || back.eps != p.eps {
+		t.Fatalf("metadata mismatch after round trip")
+	}
+	// Joins through the loaded form must equal joins through the
+	// original.
+	other := randCommunity(rng, "other", 70, 7, 12)
+	po, _ := Prepare(other, Options{Eps: 2, Parts: 3})
+	want, err := ExMinMaxPrepared(p, po, Options{Eps: 2, Matcher: matching.HopcroftKarp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExMinMaxPrepared(back, po, Options{Eps: 2, Matcher: matching.HopcroftKarp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("loaded prepared join found %d pairs, original %d", len(got.Pairs), len(want.Pairs))
+	}
+}
+
+func TestReadPreparedRejectsGarbage(t *testing.T) {
+	if _, err := ReadPrepared(bytes.NewReader([]byte("NOTAPREPARED"))); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	rng := rand.New(rand.NewSource(101))
+	c := randCommunity(rng, "c", 20, 4, 8)
+	p, _ := Prepare(c, Options{Eps: 1})
+	var buf bytes.Buffer
+	if err := WritePrepared(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, len(full) / 3, len(full) - 2} {
+		if _, err := ReadPrepared(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("expected error on truncation to %d bytes", cut)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package dataset
+
+// This file is the registry of the paper's evaluation setup: the 20
+// case-study couples of Table 2 together with the sizes and the
+// similarity values reported in Tables 3-10, and the Table 11
+// scalability sweep. The harness uses the reported exact (Ex-MinMax)
+// similarity of each couple as the planted target when synthesizing the
+// pair, so the reproduced tables show the same similarity landscape.
+
+// Kind selects one of the paper's two datasets.
+type Kind int
+
+const (
+	// VK is the paper's real dataset (reproduced by the VK-like
+	// generator), joined with epsilon = 1.
+	VK Kind = iota
+	// Synthetic is the paper's uniform dataset, joined with
+	// epsilon = 15000.
+	Synthetic
+)
+
+// String returns the paper's dataset name.
+func (k Kind) String() string {
+	if k == VK {
+		return "VK"
+	}
+	return "Synthetic"
+}
+
+// Epsilon returns the paper's epsilon for the dataset (Section 6.1).
+func (k Kind) Epsilon() int32 {
+	if k == VK {
+		return EpsilonVK
+	}
+	return EpsilonSynthetic
+}
+
+// PaperSimilarities holds the similarity percentages one table row
+// reports for the six methods.
+type PaperSimilarities struct {
+	ApBaseline, ApMinMax, ApSuperEGO float64
+	ExBaseline, ExMinMax, ExSuperEGO float64
+}
+
+// Couple is one of the paper's 20 case-study community pairs.
+type Couple struct {
+	CID          int
+	NameB, NameA string
+	IDB, IDA     int64 // VK page ids (https://vk.com/public<ID>)
+	CatB, CatA   int   // home category dimensions
+	SizeB, SizeA int   // paper community sizes
+	VK           PaperSimilarities
+	Synthetic    PaperSimilarities
+}
+
+// SameCategory reports whether the couple belongs to the paper's "same
+// categories" case study (cID 11-20).
+func (c *Couple) SameCategory() bool { return c.CatB == c.CatA }
+
+// Spec converts the couple into a builder spec for the given dataset,
+// planting the paper's exact (Ex-MinMax) similarity.
+func (c *Couple) Spec(kind Kind) PairSpec {
+	target := c.VK.ExMinMax
+	if kind == Synthetic {
+		target = c.Synthetic.ExMinMax
+	}
+	return PairSpec{
+		CID:   c.CID,
+		NameB: c.NameB, NameA: c.NameA,
+		CatB: c.CatB, CatA: c.CatA,
+		SizeB: c.SizeB, SizeA: c.SizeA,
+		Target: target / 100,
+	}
+}
+
+func cat(name string) int {
+	i := CategoryIndex(name)
+	if i < 0 {
+		panic("dataset: unknown category " + name)
+	}
+	return i
+}
+
+// Couples lists the paper's 20 case-study community pairs: cID 1-10
+// join different categories (similarity >= 15% on VK), cID 11-20 join
+// same categories (similarity >= 30% on VK). All names, page ids,
+// sizes, and similarity percentages are transcribed from Tables 2-10.
+var Couples = []Couple{
+	{
+		CID: 1, NameB: "Quick Recipes", IDB: 165062392,
+		NameA: "Salads | Best Recipes", IDA: 94216909,
+		CatB: cat("Restaurants"), CatA: cat("Food_recipes"),
+		SizeB: 109176, SizeA: 116016,
+		VK: PaperSimilarities{
+			ApBaseline: 20.56, ApMinMax: 20.58, ApSuperEGO: 19.68,
+			ExBaseline: 20.81, ExMinMax: 20.81, ExSuperEGO: 20.15,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 17.57, ApMinMax: 17.56, ApSuperEGO: 17.53,
+			ExBaseline: 17.74, ExMinMax: 17.74, ExSuperEGO: 17.74,
+		},
+	},
+	{
+		CID: 2, NameB: "Happiness", IDB: 23337480,
+		NameA: "Sportshacker", IDA: 128350290,
+		CatB: cat("Hobbies"), CatA: cat("Sport"),
+		SizeB: 156213, SizeA: 230017,
+		VK: PaperSimilarities{
+			ApBaseline: 15.40, ApMinMax: 15.42, ApSuperEGO: 15.16,
+			ExBaseline: 15.46, ExMinMax: 15.46, ExSuperEGO: 15.22,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 15.87, ApMinMax: 15.86, ApSuperEGO: 15.79,
+			ExBaseline: 16.00, ExMinMax: 16.00, ExSuperEGO: 16.00,
+		},
+	},
+	{
+		CID: 3, NameB: "Moment of history", IDB: 143826157,
+		NameA: "This is a fact | Science and Facts", IDA: 45688121,
+		CatB: cat("Culture_art"), CatA: cat("Education"),
+		SizeB: 134961, SizeA: 138199,
+		VK: PaperSimilarities{
+			ApBaseline: 24.82, ApMinMax: 24.82, ApSuperEGO: 24.26,
+			ExBaseline: 24.95, ExMinMax: 24.95, ExSuperEGO: 24.58,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 24.00, ApMinMax: 23.96, ApSuperEGO: 23.88,
+			ExBaseline: 24.15, ExMinMax: 24.15, ExSuperEGO: 24.15,
+		},
+	},
+	{
+		CID: 4, NameB: "Health secrets. What is said by doctors?", IDB: 55122354,
+		NameA: "Fashionable girl", IDA: 36085261,
+		CatB: cat("Medicine"), CatA: cat("Beauty_health"),
+		SizeB: 120783, SizeA: 185393,
+		VK: PaperSimilarities{
+			ApBaseline: 16.30, ApMinMax: 16.26, ApSuperEGO: 16.06,
+			ExBaseline: 16.42, ExMinMax: 16.42, ExSuperEGO: 16.20,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 16.46, ApMinMax: 16.46, ApSuperEGO: 16.40,
+			ExBaseline: 16.57, ExMinMax: 16.57, ExSuperEGO: 16.57,
+		},
+	},
+	{
+		CID: 5, NameB: "First channel", IDB: 25380626,
+		NameA: "Nice line", IDA: 26669118,
+		CatB: cat("Media"), CatA: cat("Entertainment"),
+		SizeB: 197415, SizeA: 330944,
+		VK: PaperSimilarities{
+			ApBaseline: 17.32, ApMinMax: 17.34, ApSuperEGO: 16.70,
+			ExBaseline: 17.52, ExMinMax: 17.52, ExSuperEGO: 16.92,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 15.37, ApMinMax: 15.36, ApSuperEGO: 15.29,
+			ExBaseline: 15.49, ExMinMax: 15.49, ExSuperEGO: 15.49,
+		},
+	},
+	{
+		CID: 6, NameB: "About women's", IDB: 33382046,
+		NameA: "Successful girl", IDA: 24036559,
+		CatB: cat("Social_public"), CatA: cat("Relationship_family"),
+		SizeB: 118993, SizeA: 131297,
+		VK: PaperSimilarities{
+			ApBaseline: 24.31, ApMinMax: 24.31, ApSuperEGO: 24.10,
+			ExBaseline: 24.38, ExMinMax: 24.38, ExSuperEGO: 24.20,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 24.42, ApMinMax: 24.39, ApSuperEGO: 24.30,
+			ExBaseline: 24.56, ExMinMax: 24.56, ExSuperEGO: 24.56,
+		},
+	},
+	{
+		CID: 7, NameB: "The best of Saint Petersburg", IDB: 31516466,
+		NameA: "Vandrouki | Travel almost free", IDA: 63731512,
+		CatB: cat("Cities_countries"), CatA: cat("Tourism_leisure"),
+		SizeB: 140114, SizeA: 257419,
+		VK: PaperSimilarities{
+			ApBaseline: 22.18, ApMinMax: 22.19, ApSuperEGO: 21.83,
+			ExBaseline: 22.22, ExMinMax: 22.22, ExSuperEGO: 21.91,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 22.04, ApMinMax: 22.02, ApSuperEGO: 21.97,
+			ExBaseline: 22.13, ExMinMax: 22.13, ExSuperEGO: 22.13,
+		},
+	},
+	{
+		CID: 8, NameB: "Housing problem", IDB: 42541008,
+		NameA: "Business quote book", IDA: 28556858,
+		CatB: cat("Home_renovation"), CatA: cat("Products_stores"),
+		SizeB: 167585, SizeA: 182815,
+		VK: PaperSimilarities{
+			ApBaseline: 15.45, ApMinMax: 15.46, ApSuperEGO: 15.15,
+			ExBaseline: 15.53, ExMinMax: 15.53, ExSuperEGO: 15.29,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 15.38, ApMinMax: 15.36, ApSuperEGO: 15.31,
+			ExBaseline: 15.57, ExMinMax: 15.57, ExSuperEGO: 15.57,
+		},
+	},
+	{
+		CID: 9, NameB: "Jah Khalib", IDB: 26211015,
+		NameA: "My audios", IDA: 105999460,
+		CatB: cat("Celebrity"), CatA: cat("Music"),
+		SizeB: 125248, SizeA: 189937,
+		VK: PaperSimilarities{
+			ApBaseline: 17.36, ApMinMax: 17.36, ApSuperEGO: 16.86,
+			ExBaseline: 17.52, ExMinMax: 17.52, ExSuperEGO: 17.06,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 15.79, ApMinMax: 15.77, ApSuperEGO: 15.73,
+			ExBaseline: 15.90, ExMinMax: 15.90, ExSuperEGO: 15.90,
+		},
+	},
+	{
+		CID: 10, NameB: "Job in Moscow", IDB: 31154183,
+		NameA: "VK Pay", IDA: 166850908,
+		CatB: cat("Job_search"), CatA: cat("Finance_insurance"),
+		SizeB: 55918, SizeA: 109622,
+		VK: PaperSimilarities{
+			ApBaseline: 20.95, ApMinMax: 20.72, ApSuperEGO: 19.40,
+			ExBaseline: 21.57, ExMinMax: 21.56, ExSuperEGO: 20.09,
+		},
+		// The paper flags cID 10 on Synthetic as an edge case: its
+		// similarity falls below the 15% floor of the case study.
+		Synthetic: PaperSimilarities{
+			ApBaseline: 7.76, ApMinMax: 7.76, ApSuperEGO: 7.73,
+			ExBaseline: 7.85, ExMinMax: 7.85, ExSuperEGO: 7.85,
+		},
+	},
+	{
+		CID: 11, NameB: "Cooking: delicious recipes", IDB: 42092461,
+		NameA: "Cooking at home: delicious and easy", IDA: 40020627,
+		CatB: cat("Food_recipes"), CatA: cat("Food_recipes"),
+		SizeB: 180158, SizeA: 196135,
+		VK: PaperSimilarities{
+			ApBaseline: 31.42, ApMinMax: 31.44, ApSuperEGO: 30.94,
+			ExBaseline: 31.52, ExMinMax: 31.52, ExSuperEGO: 31.20,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 30.46, ApMinMax: 30.42, ApSuperEGO: 30.30,
+			ExBaseline: 30.63, ExMinMax: 30.63, ExSuperEGO: 30.63,
+		},
+	},
+	{
+		CID: 12, NameB: "Simple recipes", IDB: 83935640,
+		NameA: "Best Chef's Recipes", IDA: 18464856,
+		CatB: cat("Food_recipes"), CatA: cat("Food_recipes"),
+		SizeB: 180351, SizeA: 272320,
+		VK: PaperSimilarities{
+			ApBaseline: 32.01, ApMinMax: 32.05, ApSuperEGO: 31.30,
+			ExBaseline: 32.10, ExMinMax: 32.10, ExSuperEGO: 31.63,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 30.44, ApMinMax: 30.43, ApSuperEGO: 30.34,
+			ExBaseline: 30.57, ExMinMax: 30.57, ExSuperEGO: 30.57,
+		},
+	},
+	{
+		CID: 13, NameB: "FC Barcelona", IDB: 22746750,
+		NameA: "Football Europe", IDA: 23693281,
+		CatB: cat("Sport"), CatA: cat("Sport"),
+		SizeB: 179412, SizeA: 234508,
+		VK: PaperSimilarities{
+			ApBaseline: 39.24, ApMinMax: 39.33, ApSuperEGO: 37.53,
+			ExBaseline: 39.54, ExMinMax: 39.54, ExSuperEGO: 38.62,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 33.58, ApMinMax: 33.56, ApSuperEGO: 33.43,
+			ExBaseline: 33.73, ExMinMax: 33.73, ExSuperEGO: 33.73,
+		},
+	},
+	{
+		CID: 14, NameB: "World Russian Premier League", IDB: 51812607,
+		NameA: "Football Europe", IDA: 23693281,
+		CatB: cat("Sport"), CatA: cat("Sport"),
+		SizeB: 184663, SizeA: 234508,
+		VK: PaperSimilarities{
+			ApBaseline: 36.66, ApMinMax: 36.48, ApSuperEGO: 34.85,
+			ExBaseline: 37.10, ExMinMax: 37.10, ExSuperEGO: 35.81,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 30.70, ApMinMax: 30.68, ApSuperEGO: 30.56,
+			ExBaseline: 30.85, ExMinMax: 30.85, ExSuperEGO: 30.85,
+		},
+	},
+	{
+		CID: 15, NameB: "World of beauty", IDB: 34981365,
+		NameA: "Fashionable girl", IDA: 36085261,
+		CatB: cat("Beauty_health"), CatA: cat("Beauty_health"),
+		SizeB: 163176, SizeA: 185393,
+		VK: PaperSimilarities{
+			ApBaseline: 36.83, ApMinMax: 36.85, ApSuperEGO: 36.47,
+			ExBaseline: 36.93, ExMinMax: 36.93, ExSuperEGO: 36.67,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 36.48, ApMinMax: 36.46, ApSuperEGO: 36.30,
+			ExBaseline: 36.64, ExMinMax: 36.64, ExSuperEGO: 36.64,
+		},
+	},
+	{
+		CID: 16, NameB: "Beauty | Fashion | Show Business", IDB: 32922940,
+		NameA: "Fashionable girl", IDA: 36085261,
+		CatB: cat("Beauty_health"), CatA: cat("Beauty_health"),
+		SizeB: 178138, SizeA: 185393,
+		VK: PaperSimilarities{
+			ApBaseline: 30.46, ApMinMax: 30.45, ApSuperEGO: 30.11,
+			ExBaseline: 30.57, ExMinMax: 30.58, ExSuperEGO: 30.28,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 30.21, ApMinMax: 30.19, ApSuperEGO: 30.09,
+			ExBaseline: 30.41, ExMinMax: 30.41, ExSuperEGO: 30.41,
+		},
+	},
+	{
+		CID: 17, NameB: "More than just lines", IDB: 32651025,
+		NameA: "Just love", IDA: 28293246,
+		CatB: cat("Relationship_family"), CatA: cat("Relationship_family"),
+		SizeB: 165509, SizeA: 190027,
+		VK: PaperSimilarities{
+			ApBaseline: 35.25, ApMinMax: 35.26, ApSuperEGO: 34.97,
+			ExBaseline: 35.35, ExMinMax: 35.35, ExSuperEGO: 35.11,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 35.16, ApMinMax: 35.14, ApSuperEGO: 34.97,
+			ExBaseline: 35.31, ExMinMax: 35.31, ExSuperEGO: 35.31,
+		},
+	},
+	{
+		CID: 18, NameB: "Modern mom", IDB: 55074079,
+		NameA: "MAMA", IDA: 20249656,
+		CatB: cat("Relationship_family"), CatA: cat("Relationship_family"),
+		SizeB: 147140, SizeA: 175929,
+		VK: PaperSimilarities{
+			ApBaseline: 32.21, ApMinMax: 32.23, ApSuperEGO: 31.76,
+			ExBaseline: 32.26, ExMinMax: 32.26, ExSuperEGO: 31.93,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 31.58, ApMinMax: 31.55, ApSuperEGO: 31.42,
+			ExBaseline: 31.72, ExMinMax: 31.72, ExSuperEGO: 31.72,
+		},
+	},
+	{
+		CID: 19, NameB: "Business quote book", IDB: 28556858,
+		NameA: "Business Strategy | Success in life", IDA: 30559917,
+		CatB: cat("Products_stores"), CatA: cat("Products_stores"),
+		SizeB: 182815, SizeA: 201038,
+		VK: PaperSimilarities{
+			ApBaseline: 31.79, ApMinMax: 31.82, ApSuperEGO: 31.36,
+			ExBaseline: 31.88, ExMinMax: 31.88, ExSuperEGO: 31.59,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 31.31, ApMinMax: 31.28, ApSuperEGO: 31.14,
+			ExBaseline: 31.48, ExMinMax: 31.48, ExSuperEGO: 31.48,
+		},
+	},
+	{
+		CID: 20, NameB: "Smart Money | Business Magazine", IDB: 34483558,
+		NameA: "Business Strategy | Success in life", IDA: 30559917,
+		CatB: cat("Products_stores"), CatA: cat("Products_stores"),
+		SizeB: 161991, SizeA: 201038,
+		VK: PaperSimilarities{
+			ApBaseline: 33.40, ApMinMax: 33.42, ApSuperEGO: 33.07,
+			ExBaseline: 33.50, ExMinMax: 33.50, ExSuperEGO: 33.23,
+		},
+		Synthetic: PaperSimilarities{
+			ApBaseline: 33.11, ApMinMax: 33.10, ApSuperEGO: 32.97,
+			ExBaseline: 33.27, ExMinMax: 33.27, ExSuperEGO: 33.27,
+		},
+	},
+}
+
+// DifferentCategoryCouples returns the couples of the "different
+// categories" case study (cID 1-10).
+func DifferentCategoryCouples() []Couple { return Couples[:10] }
+
+// SameCategoryCouples returns the couples of the "same categories" case
+// study (cID 11-20).
+func SameCategoryCouples() []Couple { return Couples[10:] }
+
+// CoupleByID returns the couple with the given cID, or nil.
+func CoupleByID(cid int) *Couple {
+	for i := range Couples {
+		if Couples[i].CID == cid {
+			return &Couples[i]
+		}
+	}
+	return nil
+}
+
+// ScalabilityRow is one row of the paper's Table 11: four average
+// couple sizes for one category. The scalability harness joins couples
+// with |B| = |A| = size at a default ~20% planted similarity.
+type ScalabilityRow struct {
+	Category string
+	Sizes    [4]int
+}
+
+// ScalabilityRows transcribes Table 11's categories and sizes.
+var ScalabilityRows = []ScalabilityRow{
+	{"Food_recipes", [4]int{124453, 200966, 332977, 417492}},
+	{"Restaurants", [4]int{27733, 50802, 71114, 111713}},
+	{"Hobbies", [4]int{212071, 326951, 432853, 538492}},
+	{"Sport", [4]int{107770, 156762, 199233, 248901}},
+	{"Education", [4]int{128905, 200466, 317041, 414692}},
+	{"Culture_art", [4]int{54381, 106885, 157236, 228763}},
+	{"Beauty_health", [4]int{149171, 211701, 256387, 318470}},
+	{"Medicine", [4]int{21290, 41438, 62333, 84311}},
+	{"Entertainment", [4]int{445364, 651230, 841407, 1110846}},
+	{"Media", [4]int{117231, 220804, 335845, 406973}},
+	{"Relationship_family", [4]int{121910, 169862, 212582, 283532}},
+	{"Social_public", [4]int{80552, 135060, 182865, 269604}},
+	{"Tourism_leisure", [4]int{104403, 147984, 204376, 248205}},
+	{"Cities_countries", [4]int{53271, 94130, 133765, 163201}},
+	{"Products_stores", [4]int{112425, 157593, 219171, 265760}},
+	{"Home_renovation", [4]int{101381, 149484, 188986, 274326}},
+	{"Celebrity", [4]int{105339, 160277, 206374, 255239}},
+	{"Music", [4]int{110695, 158516, 201757, 251919}},
+	{"Finance_insurance", [4]int{24620, 49505, 70196, 108028}},
+	{"Job_search", [4]int{16728, 30787, 45597, 62418}},
+}

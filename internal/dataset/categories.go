@@ -1,0 +1,102 @@
+// Package dataset provides the data substrate of the reproduction: the
+// 27 VK categories, a VK-like heavy-tailed profile generator (a
+// synthetic stand-in for the paper's real 7.8M-user VK crawl), the
+// paper's uniform Synthetic generator, planted-similarity community-pair
+// construction, and the registry of the paper's 20 case-study couples
+// (Table 2) and scalability sweep (Table 11).
+package dataset
+
+// Dim is the dimensionality of every profile: the 27 VK categories.
+const Dim = 27
+
+// Categories lists the 27 VK categories in the paper's Table 1 VK
+// ranking order (descending total likes). The index of a category in
+// this slice is its dimension in every user vector.
+var Categories = []string{
+	"Entertainment",
+	"Hobbies",
+	"Relationship_family",
+	"Beauty_health",
+	"Media",
+	"Social_public",
+	"Sport",
+	"Internet",
+	"Education",
+	"Celebrity",
+	"Animals",
+	"Music",
+	"Culture_art",
+	"Food_recipes",
+	"Tourism_leisure",
+	"Auto_motor",
+	"Products_stores",
+	"Home_renovation",
+	"Cities_countries",
+	"Professional_Services",
+	"Medicine",
+	"Finance_insurance",
+	"Restaurants",
+	"Job_search",
+	"Transportation_Services",
+	"Consumer_Services",
+	"Communication_Services",
+}
+
+// VKTotalLikes holds the paper's Table 1 total_likes per category for
+// the VK dataset, aligned with Categories. The VK-like generator uses
+// these as the global popularity weights, so the generated data
+// reproduces the paper's highly skewed preference distribution.
+var VKTotalLikes = []int64{
+	2111519450, // Entertainment
+	602445614,  // Hobbies
+	384993747,  // Relationship_family
+	318695199,  // Beauty_health
+	296466970,  // Media
+	255007945,  // Social_public
+	245830867,  // Sport
+	206085821,  // Internet
+	197289902,  // Education
+	167468242,  // Celebrity
+	159569729,  // Animals
+	153686427,  // Music
+	141107189,  // Culture_art
+	140212548,  // Food_recipes
+	140054637,  // Tourism_leisure
+	136991765,  // Auto_motor
+	131752523,  // Products_stores
+	120091854,  // Home_renovation
+	74006530,   // Cities_countries
+	33024545,   // Professional_Services
+	32135820,   // Medicine
+	30961892,   // Finance_insurance
+	6473240,    // Restaurants
+	1853720,    // Job_search
+	1385538,    // Transportation_Services
+	810889,     // Consumer_Services
+	474492,     // Communication_Services
+}
+
+// CategoryIndex returns the dimension of the named category, or -1.
+func CategoryIndex(name string) int {
+	for i, c := range Categories {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SyntheticMaxCounter is the paper's maximum number of likes per
+// dimension in the Synthetic dataset.
+const SyntheticMaxCounter = 500000
+
+// VKMaxCounter is the paper's maximum number of likes per dimension
+// observed in the VK dataset.
+const VKMaxCounter = 152532
+
+// EpsilonVK and EpsilonSynthetic are the paper's epsilon settings for
+// the two datasets (Section 6.1).
+const (
+	EpsilonVK        = 1
+	EpsilonSynthetic = 15000
+)

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// Manifest describes a materialized case-study couple set: the 20
+// community pairs of Table 2, synthesized at some scale and written as
+// binary community files plus this JSON index. It lets experiments run
+// repeatedly against identical data without regenerating.
+type Manifest struct {
+	// Kind is the dataset name ("VK" or "Synthetic").
+	Kind string `json:"kind"`
+	// Epsilon is the dataset's join threshold.
+	Epsilon int32 `json:"epsilon"`
+	// Scale and Seed record how the data was synthesized.
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+	// Entries lists the materialized couples.
+	Entries []ManifestEntry `json:"entries"`
+}
+
+// ManifestEntry is one materialized couple.
+type ManifestEntry struct {
+	CID          int     `json:"cid"`
+	FileB        string  `json:"file_b"`
+	FileA        string  `json:"file_a"`
+	SizeB        int     `json:"size_b"`
+	SizeA        int     `json:"size_a"`
+	Target       float64 `json:"target"`
+	SameCategory bool    `json:"same_category"`
+}
+
+// ManifestName is the index file name inside a couple-set directory.
+const ManifestName = "manifest.json"
+
+// WriteCoupleSet synthesizes all 20 case-study couples for the dataset
+// kind at the given scale into dir (created if needed) and writes the
+// manifest. It returns the manifest.
+func WriteCoupleSet(dir string, kind Kind, scale float64, minSize int, seed int64) (*Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manifest{
+		Kind:    kind.String(),
+		Epsilon: kind.Epsilon(),
+		Scale:   scale,
+		Seed:    seed,
+	}
+	for i := range Couples {
+		c := &Couples[i]
+		spec := c.Spec(kind).Scaled(scale, minSize)
+		rng := rand.New(rand.NewSource(seed*1000 + int64(c.CID)))
+		genB := NewGenerator(kind, rng, spec.CatB)
+		genA := NewGenerator(kind, rng, spec.CatA)
+		b, a, err := BuildPair(spec, genB, genA, kind.Epsilon(), rng)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: couple %d: %w", c.CID, err)
+		}
+		entry := ManifestEntry{
+			CID:          c.CID,
+			FileB:        fmt.Sprintf("couple%02d_B.bin", c.CID),
+			FileA:        fmt.Sprintf("couple%02d_A.bin", c.CID),
+			SizeB:        b.Size(),
+			SizeA:        a.Size(),
+			Target:       spec.Target,
+			SameCategory: c.SameCategory(),
+		}
+		if err := writeBinaryFile(filepath.Join(dir, entry.FileB), b); err != nil {
+			return nil, err
+		}
+		if err := writeBinaryFile(filepath.Join(dir, entry.FileA), a); err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, entry)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), data, 0o644); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadManifest loads a couple-set manifest from dir.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dataset: parsing %s: %w", ManifestName, err)
+	}
+	if len(m.Entries) == 0 {
+		return nil, fmt.Errorf("dataset: manifest in %s lists no couples", dir)
+	}
+	return &m, nil
+}
+
+// LoadCouple reads the materialized communities of the couple with the
+// given cID from dir.
+func (m *Manifest) LoadCouple(dir string, cid int) (*vector.Community, *vector.Community, error) {
+	for _, e := range m.Entries {
+		if e.CID != cid {
+			continue
+		}
+		b, err := readBinaryFile(filepath.Join(dir, e.FileB))
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := readBinaryFile(filepath.Join(dir, e.FileA))
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, a, nil
+	}
+	return nil, nil, fmt.Errorf("dataset: manifest has no couple %d", cid)
+}
+
+func writeBinaryFile(path string, c *vector.Community) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := vector.WriteBinary(f, c)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func readBinaryFile(path string) (*vector.Community, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return vector.ReadBinary(f)
+}

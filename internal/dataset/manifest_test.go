@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/opencsj/csj/internal/vector"
+)
+
+func TestWriteAndReadCoupleSet(t *testing.T) {
+	dir := t.TempDir()
+	m, err := WriteCoupleSet(dir, VK, 0.001, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 20 || m.Kind != "VK" || m.Epsilon != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	// Every file must exist.
+	for _, e := range m.Entries {
+		for _, f := range []string{e.FileB, e.FileA} {
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				t.Errorf("couple %d: missing file %s", e.CID, f)
+			}
+		}
+		if e.SizeB > e.SizeA {
+			t.Errorf("couple %d: |B|=%d exceeds |A|=%d", e.CID, e.SizeB, e.SizeA)
+		}
+	}
+
+	back, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 20 || back.Seed != 7 {
+		t.Fatalf("reloaded manifest = %+v", back)
+	}
+
+	b, a, err := back.LoadCouple(dir, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := back.Entries[12]
+	if b.Size() != e.SizeB || a.Size() != e.SizeA {
+		t.Errorf("couple 13 sizes = %d|%d, manifest says %d|%d",
+			b.Size(), a.Size(), e.SizeB, e.SizeA)
+	}
+	// The planted similarity must be present in the materialized data.
+	matched := 0
+	for _, ub := range b.Users {
+		for _, ua := range a.Users {
+			if vector.MatchEpsilon(ub, ua, back.Epsilon) {
+				matched++
+				break
+			}
+		}
+	}
+	if float64(matched) < 0.9*e.Target*float64(b.Size()) {
+		t.Errorf("couple 13: only %d/%d B users match; planted %.0f%%",
+			matched, b.Size(), 100*e.Target)
+	}
+
+	if _, _, err := back.LoadCouple(dir, 42); err == nil {
+		t.Error("expected error for unknown couple")
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	if _, err := ReadManifest(t.TempDir()); err == nil {
+		t.Error("expected error for a directory without a manifest")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("expected error for corrupt manifest")
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(`{"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("expected error for empty manifest")
+	}
+}

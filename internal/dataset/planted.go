@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// PairSpec describes one community pair to synthesize. The paper's
+// couples carry a measured similarity; the builder plants that fraction
+// of guaranteed matches so the synthesized pair reproduces it (the rest
+// of both communities is drawn fresh, so additional incidental matches
+// can push the exact similarity slightly above Target).
+type PairSpec struct {
+	CID          int     // the paper's couple ID (1-20), or 0 for ad-hoc pairs
+	NameB, NameA string  // community (brand page) names
+	CatB, CatA   int     // home category dimensions
+	SizeB, SizeA int     // |B| and |A|; must satisfy ceil(|A|/2) <= |B| <= |A|
+	Target       float64 // planted similarity in [0, 1]
+}
+
+// Validate checks the spec invariants, including the CSJ size
+// precondition.
+func (s *PairSpec) Validate() error {
+	if s.SizeB <= 0 || s.SizeA <= 0 {
+		return fmt.Errorf("dataset: couple %d: sizes must be positive", s.CID)
+	}
+	if s.SizeB > s.SizeA {
+		return fmt.Errorf("dataset: couple %d: |B|=%d exceeds |A|=%d", s.CID, s.SizeB, s.SizeA)
+	}
+	if half := (s.SizeA + 1) / 2; s.SizeB < half {
+		return fmt.Errorf("dataset: couple %d: |B|=%d below ceil(|A|/2)=%d", s.CID, s.SizeB, half)
+	}
+	if s.Target < 0 || s.Target > 1 {
+		return fmt.Errorf("dataset: couple %d: target %.3f outside [0,1]", s.CID, s.Target)
+	}
+	return nil
+}
+
+// Scaled returns a copy of the spec with both sizes multiplied by
+// factor (minimum minSize users each), preserving the B/A ratio as far
+// as the size precondition allows.
+func (s PairSpec) Scaled(factor float64, minSize int) PairSpec {
+	if minSize < 1 {
+		minSize = 1
+	}
+	scale := func(n int) int {
+		v := int(math.Round(float64(n) * factor))
+		if v < minSize {
+			v = minSize
+		}
+		return v
+	}
+	s.SizeB, s.SizeA = scale(s.SizeB), scale(s.SizeA)
+	// Re-establish the precondition that rounding may have broken.
+	if half := (s.SizeA + 1) / 2; s.SizeB < half {
+		s.SizeB = half
+	}
+	if s.SizeB > s.SizeA {
+		s.SizeB = s.SizeA
+	}
+	return s
+}
+
+// BuildPair synthesizes the community pair described by spec. A is
+// drawn from genA; a Target fraction of B's users are epsilon
+// perturbations of distinct A users (guaranteed one-to-one matches) and
+// the rest are drawn from genB. B is shuffled so the planted users are
+// not clustered.
+func BuildPair(spec PairSpec, genB, genA Generator, eps int32, rng *rand.Rand) (*vector.Community, *vector.Community, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if genB.Dim() != genA.Dim() {
+		return nil, nil, fmt.Errorf("dataset: generators disagree on dimensionality (%d vs %d)",
+			genB.Dim(), genA.Dim())
+	}
+	a := GenerateCommunity(genA, spec.NameA, spec.CatA, spec.SizeA)
+
+	planted := int(math.Round(spec.Target * float64(spec.SizeB)))
+	if planted > spec.SizeB {
+		planted = spec.SizeB
+	}
+	if planted > spec.SizeA {
+		planted = spec.SizeA
+	}
+	sources := rng.Perm(spec.SizeA)[:planted]
+
+	users := make([]vector.Vector, 0, spec.SizeB)
+	for _, src := range sources {
+		users = append(users, genA.Perturb(a.Users[src], eps))
+	}
+	for len(users) < spec.SizeB {
+		users = append(users, genB.User())
+	}
+	rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+
+	b := &vector.Community{Name: spec.NameB, Category: spec.CatB, Users: users}
+	return b, a, nil
+}

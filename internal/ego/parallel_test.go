@@ -1,0 +1,57 @@
+package ego
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/matching"
+)
+
+// ExSuperEGOParallel must see the identical candidate graph as the
+// serial recursion (the B-chunk partition covers the same pair space)
+// and, with Hopcroft–Karp, produce the identical pair count.
+func TestExSuperEGOParallelEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		d := 1 + rng.Intn(6)
+		eps := rng.Int31n(3)
+		b := randCommunity(rng, "B", 20+rng.Intn(80), d, 15)
+		a := randCommunity(rng, "A", 20+rng.Intn(80), d, 15)
+		opts := Options{Eps: eps, T: 4, Float64: true, Matcher: matching.HopcroftKarp}
+		serial, err := ExSuperEGO(b, a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 5, 64} {
+			par, err := ExSuperEGOParallel(b, a, opts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Events.Matches != serial.Events.Matches {
+				t.Fatalf("workers=%d: %d match events, serial saw %d",
+					workers, par.Events.Matches, serial.Events.Matches)
+			}
+			if len(par.Pairs) != len(serial.Pairs) {
+				t.Fatalf("workers=%d: %d pairs, serial found %d",
+					workers, len(par.Pairs), len(serial.Pairs))
+			}
+		}
+	}
+}
+
+func TestExSuperEGOParallelSingleWorkerDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	b := randCommunity(rng, "B", 30, 4, 10)
+	a := randCommunity(rng, "A", 40, 4, 10)
+	serial, err := ExSuperEGO(b, a, Options{Eps: 1, Float64: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExSuperEGOParallel(b, a, Options{Eps: 1, Float64: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Pairs) != len(serial.Pairs) {
+		t.Error("workers<=1 should delegate to the serial algorithm")
+	}
+}

@@ -1,0 +1,258 @@
+package ego
+
+import (
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/matching"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// DefaultThreshold is the default segment-size threshold t below which
+// the recursion switches to the nested-loop join.
+const DefaultThreshold = 64
+
+// Options configure a SuperEGO run.
+type Options struct {
+	// Eps is the per-dimension absolute-difference threshold (>= 0),
+	// expressed on the original integer counters. Normalization is
+	// handled internally (the paper's "27*(1/152532)" adaptation).
+	Eps int32
+	// T is the recursion threshold; 0 selects DefaultThreshold. Values
+	// below 2 are clamped to 2 so splitting always makes progress.
+	T int
+	// Float64 selects double-precision normalization (ablation; the
+	// paper's setup is single precision).
+	Float64 bool
+	// VerifyInteger makes the original integer vectors authoritative:
+	// the leaf join tests the integer per-dimension condition directly
+	// and the EGO-Strategy takes one extra cell of slack so that float
+	// rounding can never prune a true integer match. This removes the
+	// normalization accuracy loss entirely, turning SuperEGO into an
+	// exact method for CSJ (the paper's SuperEGO does not do this; keep
+	// it off to reproduce the paper's accuracy numbers).
+	VerifyInteger bool
+	// DisableReorder keeps the original dimension order (ablation).
+	DisableReorder bool
+	// DisablePruning turns the EGO-Strategy off (testing/ablation; the
+	// recursion then degenerates to a blocked nested loop).
+	DisablePruning bool
+	// Matcher resolves the match graph of the exact method; nil selects
+	// CSF. Ignored by ApSuperEGO.
+	Matcher matching.Matcher
+}
+
+func (o *Options) threshold() int {
+	t := o.T
+	if t == 0 {
+		t = DefaultThreshold
+	}
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+func (o *Options) matcher() matching.Matcher {
+	if o.Matcher == nil {
+		return matching.CSF
+	}
+	return o.Matcher
+}
+
+// segment is a contiguous run of EGO-sorted points with its grid
+// bounding box (per-dimension min and max cell).
+type segment struct {
+	pts      []point
+	cLo, cHi []int64
+}
+
+func newSegment(pts []point, d int) segment {
+	s := segment{pts: pts, cLo: make([]int64, d), cHi: make([]int64, d)}
+	for j := 0; j < d; j++ {
+		s.cLo[j], s.cHi[j] = int64(1)<<62, -(int64(1) << 62)
+	}
+	for i := range pts {
+		for j, c := range pts[i].cells {
+			if c < s.cLo[j] {
+				s.cLo[j] = c
+			}
+			if c > s.cHi[j] {
+				s.cHi[j] = c
+			}
+		}
+	}
+	return s
+}
+
+func (s *segment) split(d int) (segment, segment) {
+	mid := len(s.pts) / 2
+	return newSegment(s.pts[:mid], d), newSegment(s.pts[mid:], d)
+}
+
+// joiner carries the state of one SuperEGO execution.
+type joiner struct {
+	opts   Options
+	norm   *normalizer
+	d      int
+	t      int
+	events *core.Events
+	ub, ua []vector.Vector // original integer vectors for VerifyInteger
+	exact  bool
+	graph  *matching.Graph // exact mode: all matches
+	pairs  []matching.Pair // approximate mode: greedy pairs
+	usedB  []bool          // approximate mode, indexed by ref
+	usedA  []bool
+}
+
+// egoStrategy reports whether the segment pair is surely non-joinable:
+// some dimension separates the two grid bounding boxes by more than one
+// cell, so every cross pair differs by more than epsilon there.
+func (j *joiner) egoStrategy(b, a *segment) bool {
+	if j.opts.DisablePruning {
+		return false
+	}
+	// With the integer condition authoritative, rounding could push a
+	// true match up to one extra cell away; widen the slack so pruning
+	// stays sound.
+	slack := int64(1)
+	if j.opts.VerifyInteger {
+		slack = 2
+	}
+	for dim := 0; dim < j.d; dim++ {
+		if b.cLo[dim] > a.cHi[dim]+slack || a.cLo[dim] > b.cHi[dim]+slack {
+			return true
+		}
+	}
+	return false
+}
+
+// join is the recursive SuperEGO procedure (Algorithm SuperEGO).
+func (j *joiner) join(b, a segment) {
+	if len(b.pts) == 0 || len(a.pts) == 0 {
+		return
+	}
+	if j.egoStrategy(&b, &a) {
+		j.events.EGOPrunes++
+		return
+	}
+	switch {
+	case len(b.pts) < j.t && len(a.pts) < j.t:
+		j.nestedLoop(b.pts, a.pts)
+	case len(b.pts) < j.t:
+		a1, a2 := a.split(j.d)
+		j.join(b, a1)
+		j.join(b, a2)
+	case len(a.pts) < j.t:
+		b1, b2 := b.split(j.d)
+		j.join(b1, a)
+		j.join(b2, a)
+	default:
+		b1, b2 := b.split(j.d)
+		a1, a2 := a.split(j.d)
+		j.join(b1, a1)
+		j.join(b1, a2)
+		j.join(b2, a1)
+		j.join(b2, a2)
+	}
+}
+
+// nestedLoop is the leaf join. In approximate mode it mirrors
+// Ap-Baseline (greedy first match, both users consumed); in exact mode
+// it mirrors the scanning phase of Ex-Baseline (collect every match).
+func (j *joiner) nestedLoop(bs, as []point) {
+	for bi := range bs {
+		pb := &bs[bi]
+		if !j.exact && j.usedB[pb.ref] {
+			continue
+		}
+		for ai := range as {
+			pa := &as[ai]
+			if !j.exact && j.usedA[pa.ref] {
+				continue
+			}
+			var matched bool
+			if j.opts.VerifyInteger {
+				matched = vector.MatchEpsilon(j.ub[pb.ref], j.ua[pa.ref], j.opts.Eps)
+			} else {
+				matched = j.norm.matches(pb.vals, pa.vals)
+			}
+			if !matched {
+				j.events.NoMatches++
+				continue
+			}
+			j.events.Matches++
+			if j.exact {
+				j.graph.AddEdge(pb.ref, pa.ref)
+				continue
+			}
+			j.usedB[pb.ref] = true
+			j.usedA[pa.ref] = true
+			j.pairs = append(j.pairs, matching.Pair{B: pb.ref, A: pa.ref})
+			break
+		}
+	}
+}
+
+// prepare normalizes, reorders, sorts and wraps both communities.
+func prepare(b, a *vector.Community, opts *Options) (*joiner, segment, segment, error) {
+	if err := core.ValidateInputs(b, a, opts.Eps); err != nil {
+		return nil, segment{}, segment{}, err
+	}
+	norm := newNormalizer(b, a, opts.Eps, opts.Float64)
+	bp := norm.normalize(b)
+	ap := norm.normalize(a)
+	if !opts.DisableReorder {
+		order := dimOrder(bp, ap)
+		applyOrder(bp, order)
+		applyOrder(ap, order)
+	}
+	norm.assignCells(bp)
+	norm.assignCells(ap)
+	egoSort(bp)
+	egoSort(ap)
+	j := &joiner{
+		opts: *opts,
+		norm: norm,
+		d:    b.Dim(),
+		t:    opts.threshold(),
+		ub:   b.Users,
+		ua:   a.Users,
+	}
+	return j, newSegment(bp, j.d), newSegment(ap, j.d), nil
+}
+
+// ApSuperEGO runs the approximate SuperEGO method: the SuperEGO
+// recursion with Ap-Baseline's greedy nested loop at the leaves.
+func ApSuperEGO(b, a *vector.Community, opts Options) (*core.Result, error) {
+	j, sb, sa, err := prepare(b, a, &opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{}
+	j.events = &res.Events
+	j.exact = false
+	j.usedB = make([]bool, b.Size())
+	j.usedA = make([]bool, a.Size())
+	j.join(sb, sa)
+	res.Pairs = j.pairs
+	return res, nil
+}
+
+// ExSuperEGO runs the exact SuperEGO method: the SuperEGO recursion
+// collecting every match, then a single matcher (CSF) call, exactly as
+// Ex-Baseline post-processes its nested loop.
+func ExSuperEGO(b, a *vector.Community, opts Options) (*core.Result, error) {
+	j, sb, sa, err := prepare(b, a, &opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{}
+	j.events = &res.Events
+	j.exact = true
+	j.graph = matching.NewGraph()
+	j.join(sb, sa)
+	if j.graph.Edges() > 0 {
+		res.Events.CSFCalls++
+		res.Pairs = opts.matcher()(j.graph)
+	}
+	return res, nil
+}

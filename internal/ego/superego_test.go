@@ -1,0 +1,316 @@
+package ego
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/baseline"
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/matching"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+func randCommunity(rng *rand.Rand, name string, n, d int, maxVal int32) *vector.Community {
+	users := make([]vector.Vector, n)
+	for i := range users {
+		u := make(vector.Vector, d)
+		for j := range u {
+			u[j] = rng.Int31n(maxVal + 1)
+		}
+		users[i] = u
+	}
+	return &vector.Community{Name: name, Category: -1, Users: users}
+}
+
+func checkValid(t *testing.T, b, a *vector.Community, res *core.Result, eps int32) {
+	t.Helper()
+	seenB := map[int32]bool{}
+	seenA := map[int32]bool{}
+	for _, p := range res.Pairs {
+		if seenB[p.B] || seenA[p.A] {
+			t.Fatalf("pairs not one-to-one at %v", p)
+		}
+		seenB[p.B], seenA[p.A] = true, true
+		if !vector.MatchEpsilon(b.Users[p.B], a.Users[p.A], eps) {
+			t.Fatalf("pair %v violates the integer epsilon condition", p)
+		}
+	}
+}
+
+// With VerifyInteger the leaf join is authoritative on the integer
+// condition and the EGO-Strategy takes extra slack, so Ex-SuperEGO(HK)
+// must equal the Ex-Baseline(HK) optimum exactly.
+func TestExSuperEGOVerifyIntegerMatchesBaselineOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		d := 1 + rng.Intn(8)
+		eps := rng.Int31n(3)
+		b := randCommunity(rng, "B", 5+rng.Intn(60), d, int32(2+rng.Intn(15)))
+		a := randCommunity(rng, "A", 5+rng.Intn(60), d, int32(2+rng.Intn(15)))
+
+		want, err := baseline.ExBaseline(b, a, baseline.Options{Eps: eps, Matcher: matching.HopcroftKarp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExSuperEGO(b, a, Options{
+			Eps: eps, T: 4, Float64: true, VerifyInteger: true,
+			Matcher: matching.HopcroftKarp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, b, a, got, eps)
+		if len(got.Pairs) != len(want.Pairs) {
+			t.Fatalf("trial %d: Ex-SuperEGO found %d pairs, Ex-Baseline optimum is %d (d=%d eps=%d)",
+				trial, len(got.Pairs), len(want.Pairs), d, eps)
+		}
+	}
+}
+
+// The EGO-Strategy must never lose a candidate: with pruning on and off
+// the exact match graph is identical (float64, deterministic counting
+// via match events).
+func TestEGOStrategyIsLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + rng.Intn(6)
+		eps := rng.Int31n(3)
+		b := randCommunity(rng, "B", 10+rng.Intn(80), d, 20)
+		a := randCommunity(rng, "A", 10+rng.Intn(80), d, 20)
+
+		pruned, err := ExSuperEGO(b, a, Options{Eps: eps, T: 4, Float64: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpruned, err := ExSuperEGO(b, a, Options{Eps: eps, T: 4, Float64: true, DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned.Events.Matches != unpruned.Events.Matches {
+			t.Fatalf("pruning changed the match count: %d vs %d",
+				pruned.Events.Matches, unpruned.Events.Matches)
+		}
+		if pruned.Events.EGOPrunes == 0 && trial > 10 {
+			// Not a correctness failure, but the strategy should fire at
+			// least sometimes on spread-out data; leave a breadcrumb.
+			t.Logf("trial %d: EGO-Strategy never fired (eps=%d d=%d)", trial, eps, d)
+		}
+		if unpruned.Events.EGOPrunes != 0 {
+			t.Fatal("DisablePruning must suppress EGO prune events")
+		}
+	}
+}
+
+// Dimension reordering is a pure performance device: it must not change
+// the exact match set.
+func TestReorderDoesNotChangeMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + rng.Intn(8)
+		b := randCommunity(rng, "B", 20+rng.Intn(50), d, 15)
+		a := randCommunity(rng, "A", 20+rng.Intn(50), d, 15)
+		with, err := ExSuperEGO(b, a, Options{Eps: 1, T: 4, Float64: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := ExSuperEGO(b, a, Options{Eps: 1, T: 4, Float64: true, DisableReorder: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if with.Events.Matches != without.Events.Matches {
+			t.Fatalf("reordering changed the match count: %d vs %d",
+				with.Events.Matches, without.Events.Matches)
+		}
+	}
+}
+
+// Ap-SuperEGO produces a valid matching within the optimum.
+func TestApSuperEGOValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + rng.Intn(6)
+		eps := rng.Int31n(3)
+		b := randCommunity(rng, "B", 10+rng.Intn(60), d, 12)
+		a := randCommunity(rng, "A", 10+rng.Intn(60), d, 12)
+		res, err := ApSuperEGO(b, a, Options{Eps: eps, T: 4, Float64: true, VerifyInteger: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, b, a, res, eps)
+		opt, err := baseline.ExBaseline(b, a, baseline.Options{Eps: eps, Matcher: matching.HopcroftKarp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Pairs) > len(opt.Pairs) {
+			t.Fatalf("Ap-SuperEGO (%d) exceeded the optimum (%d)", len(res.Pairs), len(opt.Pairs))
+		}
+	}
+}
+
+// Float32 normalization may lose borderline matches but must never
+// produce integer false hits when VerifyInteger is set, and the loss is
+// bounded: every non-borderline match survives. We construct a dataset
+// where all differences are either 0 or >= 2 with eps=1, so rounding
+// cannot flip any decision.
+func TestFloat32SafeAwayFromBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	d := 5
+	mk := func(n int) *vector.Community {
+		users := make([]vector.Vector, n)
+		for i := range users {
+			u := make(vector.Vector, d)
+			for j := range u {
+				u[j] = rng.Int31n(50) * 2 // even values only: diffs are 0 or >= 2
+			}
+			users[i] = u
+		}
+		return &vector.Community{Name: "c", Users: users}
+	}
+	b, a := mk(60), mk(80)
+	got, err := ExSuperEGO(b, a, Options{Eps: 1, T: 4, Matcher: matching.HopcroftKarp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.ExBaseline(b, a, baseline.Options{Eps: 1, Matcher: matching.HopcroftKarp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("float32 SuperEGO lost matches away from the boundary: %d vs %d",
+			len(got.Pairs), len(want.Pairs))
+	}
+	checkValid(t, b, a, got, 1)
+}
+
+// On skewed data with eps=1 and a large max counter, normalized
+// comparison coin-flips pairs that sit exactly at the epsilon boundary:
+// the rounding of v/maxVal decides each one arbitrarily. This is the
+// accuracy loss the paper reports for SuperEGO on VK. The test builds a
+// dataset whose every cross match is exactly at the boundary and checks
+// that (a) both float precisions deviate from the true integer count,
+// and (b) VerifyInteger restores it exactly.
+func TestNormalizationBoundaryAccuracyLoss(t *testing.T) {
+	// Every pair (b_v, a_v) differs by exactly eps=1 per dimension while
+	// a huge outlier stretches the normalization denominator, making
+	// 1/maxVal poorly representable.
+	var usersB, usersA []vector.Vector
+	usersB = append(usersB, vector.Vector{152532, 0, 0}) // the outlier (self-match only)
+	usersA = append(usersA, vector.Vector{152532, 0, 0})
+	for v := int32(1); v <= 200; v++ {
+		usersB = append(usersB, vector.Vector{v, v + 1, v})
+		usersA = append(usersA, vector.Vector{v + 1, v, v + 1}) // all diffs exactly 1
+	}
+	b := &vector.Community{Name: "B", Users: usersB}
+	a := &vector.Community{Name: "A", Users: usersA}
+	const trueMatches = 201 // 200 boundary pairs + the outlier self-pair
+
+	f32, err := ExSuperEGO(b, a, Options{Eps: 1, T: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64, err := ExSuperEGO(b, a, Options{Eps: 1, T: 8, Float64: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExSuperEGO(b, a, Options{Eps: 1, T: 8, VerifyInteger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Events.Matches != trueMatches {
+		t.Errorf("VerifyInteger found %d matches, want %d", exact.Events.Matches, trueMatches)
+	}
+	if f32.Events.Matches == trueMatches && f64.Events.Matches == trueMatches {
+		t.Error("expected normalized comparison to deviate at the epsilon boundary")
+	}
+	t.Logf("boundary matches: float32=%d float64=%d exact=%d",
+		f32.Events.Matches, f64.Events.Matches, trueMatches)
+}
+
+func TestSuperEGOAllZeroVectors(t *testing.T) {
+	users := func(n, d int) []vector.Vector {
+		out := make([]vector.Vector, n)
+		for i := range out {
+			out[i] = make(vector.Vector, d)
+		}
+		return out
+	}
+	b := &vector.Community{Name: "B", Users: users(4, 3)}
+	a := &vector.Community{Name: "A", Users: users(6, 3)}
+	res, err := ExSuperEGO(b, a, Options{Eps: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Similarity(b.Size()); got != 1.0 {
+		t.Errorf("all-zero similarity = %.2f, want 1.0", got)
+	}
+}
+
+func TestSuperEGOEpsilonZero(t *testing.T) {
+	b := &vector.Community{Name: "B", Users: []vector.Vector{{5, 7}, {1, 2}}}
+	a := &vector.Community{Name: "A", Users: []vector.Vector{{5, 7}, {9, 9}}}
+	res, err := ExSuperEGO(b, a, Options{Eps: 0, Float64: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 || res.Pairs[0].B != 0 || res.Pairs[0].A != 0 {
+		t.Errorf("eps=0 pairs = %v, want exactly <0,0>", res.Pairs)
+	}
+}
+
+func TestSuperEGOThresholdSweepSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	b := randCommunity(rng, "B", 100, 4, 10)
+	a := randCommunity(rng, "A", 120, 4, 10)
+	var base int64 = -1
+	for _, tval := range []int{2, 4, 16, 64, 1024} {
+		res, err := ExSuperEGO(b, a, Options{Eps: 1, T: tval, Float64: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base < 0 {
+			base = res.Events.Matches
+			continue
+		}
+		if res.Events.Matches != base {
+			t.Errorf("t=%d changed the match count: %d vs %d", tval, res.Events.Matches, base)
+		}
+	}
+}
+
+func TestSuperEGOValidation(t *testing.T) {
+	good := &vector.Community{Name: "g", Users: []vector.Vector{{1}}}
+	empty := &vector.Community{Name: "e"}
+	if _, err := ApSuperEGO(empty, good, Options{Eps: 1}); err == nil {
+		t.Error("expected error for empty B")
+	}
+	if _, err := ExSuperEGO(good, empty, Options{Eps: 1}); err == nil {
+		t.Error("expected error for empty A")
+	}
+	if _, err := ApSuperEGO(good, good, Options{Eps: -1}); err == nil {
+		t.Error("expected error for negative epsilon")
+	}
+}
+
+func TestEgoSortIsLexicographicOnCells(t *testing.T) {
+	pts := []point{
+		{vals: []float64{0.9, 0.1}, cells: []int64{9, 1}, ref: 0},
+		{vals: []float64{0.1, 0.9}, cells: []int64{1, 9}, ref: 1},
+		{vals: []float64{0.1, 0.2}, cells: []int64{1, 2}, ref: 2},
+	}
+	egoSort(pts)
+	if pts[0].ref != 2 || pts[1].ref != 1 || pts[2].ref != 0 {
+		t.Errorf("ego order = [%d %d %d], want [2 1 0]", pts[0].ref, pts[1].ref, pts[2].ref)
+	}
+}
+
+func TestDimOrderPutsWidestFirst(t *testing.T) {
+	pts := []point{
+		{vals: []float64{0.5, 0.1, 0.3}},
+		{vals: []float64{0.5, 0.9, 0.4}},
+	}
+	order := dimOrder(pts)
+	// Spans: dim0 = 0, dim1 = 0.8, dim2 = 0.1 -> order [1, 2, 0].
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Errorf("dimOrder = %v, want [1 2 0]", order)
+	}
+}

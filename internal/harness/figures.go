@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/encoding"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// This file regenerates the paper's Figures 1-3 from live runs of the
+// actual encoding and scan code (the same inputs the figures use), so
+// `csjbench -figure N` prints what the paper shows.
+
+// figure1Vector is the 27-dimensional user vector of Figure 1.
+var figure1Vector = vector.Vector{
+	1, 0, 0, 0, 2, 2,
+	0, 0, 2, 1, 1, 5, 4,
+	0, 3, 0, 0, 1, 4, 1,
+	0, 3, 5, 4, 1, 2, 4,
+}
+
+// RenderFigure1 regenerates Figure 1: the encoding-scheme example
+// (eps=1, d=27, 4 parts) computed by the real encoder.
+func RenderFigure1(w io.Writer) error {
+	const eps = 1
+	layout, err := encoding.NewLayout(len(figure1Vector), encoding.DefaultParts)
+	if err != nil {
+		return err
+	}
+	c := &vector.Community{Name: "fig1", Users: []vector.Vector{figure1Vector}}
+	eB := encoding.EncodeB(c, layout).Entries[0]
+	eA := encoding.EncodeA(c, layout, eps).Entries[0]
+
+	var sb strings.Builder
+	sb.WriteString("Figure 1: the encoding scheme used in CSJ (eps=1, d=27)\n\n")
+	sb.WriteString("user vector = " + joinVec(figure1Vector, 0, len(figure1Vector)) + "\n\n")
+	for p := 0; p < layout.Parts(); p++ {
+		lo, hi := layout.Bounds(p)
+		fmt.Fprintf(&sb, "%s-Part: %-22s = %-3d => range [%d,%d]\n",
+			ordinal(p+1), joinVec(figure1Vector, lo, hi), eB.Parts[p],
+			eA.RangeLo[p], eA.RangeHi[p])
+	}
+	fmt.Fprintf(&sb, "\nencoded_ID  = %d\n", eB.ID)
+	fmt.Fprintf(&sb, "encoded_Min = %d\n", eA.Min)
+	fmt.Fprintf(&sb, "encoded_Max = %d\n", eA.Max)
+	sb.WriteString("\nA user with this profile in B can only match users a in A with\n")
+	fmt.Fprintf(&sb, "a.encoded_Min <= %d <= a.encoded_Max and every part inside a's ranges.\n", eB.ID)
+	_, err = io.WriteString(w, sb.String())
+	return err
+}
+
+func joinVec(v vector.Vector, lo, hi int) string {
+	parts := make([]string, 0, hi-lo)
+	for _, x := range v[lo:hi] {
+		parts = append(parts, fmt.Sprintf("%d", x))
+	}
+	return strings.Join(parts, "|")
+}
+
+func ordinal(n int) string {
+	switch n {
+	case 1:
+		return "1st"
+	case 2:
+		return "2nd"
+	case 3:
+		return "3rd"
+	default:
+		return fmt.Sprintf("%dth", n)
+	}
+}
+
+// figureComparer replays the candidate-pair outcomes of Figures 2/3.
+type figureComparer struct {
+	outcomes map[[2]int]core.Outcome
+}
+
+func (c *figureComparer) Compare(bPos, aPos int) core.Outcome {
+	out, ok := c.outcomes[[2]int{bPos, aPos}]
+	if !ok {
+		// The figures fully specify every in-window pair; anything else
+		// indicates a divergence from the paper's trace.
+		panic(fmt.Sprintf("harness: figure trace hit unspecified pair (b%d, a%d)", bPos+1, aPos+1))
+	}
+	return out
+}
+
+// figure2Input returns the encoded entries and scripted outcomes of
+// Figure 2 (Ap-MinMax running example).
+func figure2Input() *core.Input {
+	return &core.Input{
+		BID:  []int64{40, 48, 67, 71, 74},
+		AMin: []int64{30, 33, 42, 45, 50},
+		AMax: []int64{55, 60, 72, 73, 80},
+		Cmp: &figureComparer{outcomes: map[[2]int]core.Outcome{
+			{0, 0}: core.OutcomeNoOverlap, {0, 1}: core.OutcomeNoOverlap,
+			{1, 0}: core.OutcomeNoMatch, {1, 1}: core.OutcomeNoMatch, {1, 2}: core.OutcomeMatch,
+			{2, 3}: core.OutcomeNoMatch, {2, 4}: core.OutcomeNoOverlap,
+			{3, 3}: core.OutcomeNoOverlap, {3, 4}: core.OutcomeNoMatch,
+			{4, 4}: core.OutcomeMatch,
+		}},
+	}
+}
+
+// figure3Input returns the encoded entries and scripted outcomes of
+// Figure 3 (Ex-MinMax running example).
+func figure3Input() *core.Input {
+	return &core.Input{
+		BID:  []int64{40, 58, 67, 74, 81},
+		AMin: []int64{30, 33, 38, 45, 50},
+		AMax: []int64{55, 60, 57, 73, 80},
+		Cmp: &figureComparer{outcomes: map[[2]int]core.Outcome{
+			{0, 0}: core.OutcomeMatch, {0, 1}: core.OutcomeNoOverlap, {0, 2}: core.OutcomeMatch,
+			{1, 1}: core.OutcomeMatch, {1, 3}: core.OutcomeMatch, {1, 4}: core.OutcomeNoMatch,
+			{2, 3}: core.OutcomeMatch, {2, 4}: core.OutcomeNoMatch,
+			{3, 4}: core.OutcomeNoOverlap,
+		}},
+	}
+}
+
+// RenderFigure2 regenerates Figure 2: the Ap-MinMax execution trace,
+// produced by running the real scan loop over the figure's encoded
+// entries.
+func RenderFigure2(w io.Writer) error {
+	in := figure2Input()
+	var ev core.Events
+	tr := &core.Trace{}
+	pairs := core.ScanAp(in, &ev, tr)
+	return renderScanTrace(w, "Figure 2: the execution of Approximate MinMax", in, tr, pairs, ev)
+}
+
+// RenderFigure3 regenerates Figure 3: the Ex-MinMax execution trace
+// with its CSF segment flushes.
+func RenderFigure3(w io.Writer) error {
+	in := figure3Input()
+	var ev core.Events
+	tr := &core.Trace{}
+	pairs := core.ScanEx(in, nil, &ev, tr)
+	return renderScanTrace(w, "Figure 3: the execution of Exact MinMax", in, tr, pairs, ev)
+}
+
+func renderScanTrace(w io.Writer, title string, in *core.Input, tr *core.Trace, pairs [][2]int, ev core.Events) error {
+	var sb strings.Builder
+	sb.WriteString(title + "\n\n")
+	sb.WriteString("Encd_A (encoded_Min, encoded_Max)    Encd_B (encoded_ID)\n")
+	for i := range in.AMin {
+		b := ""
+		if i < len(in.BID) {
+			b = fmt.Sprintf("b%d:%d", i+1, in.BID[i])
+		}
+		fmt.Fprintf(&sb, "  a%d:(%d, %d)%s%s\n", i+1, in.AMin[i], in.AMax[i],
+			strings.Repeat(" ", 24-len(fmt.Sprintf("a%d:(%d, %d)", i+1, in.AMin[i], in.AMax[i]))), b)
+	}
+	sb.WriteString("\nEvent trace:\n")
+	for _, e := range tr.Events {
+		if e.Kind == core.EvCSFFlush {
+			sb.WriteString("  => CSF flush (segment closed; matched users resolved one-to-one)\n")
+			continue
+		}
+		var rel string
+		switch e.Kind {
+		case core.EvMinPrune:
+			rel = fmt.Sprintf("b%d:%d < a%d:(%d, %d)", e.BPos+1, in.BID[e.BPos], e.APos+1, in.AMin[e.APos], in.AMax[e.APos])
+		case core.EvMaxPrune:
+			rel = fmt.Sprintf("b%d:%d > a%d:(%d, %d)", e.BPos+1, in.BID[e.BPos], e.APos+1, in.AMin[e.APos], in.AMax[e.APos])
+		default:
+			rel = fmt.Sprintf("b%d:%d IN a%d:(%d, %d)", e.BPos+1, in.BID[e.BPos], e.APos+1, in.AMin[e.APos], in.AMax[e.APos])
+		}
+		fmt.Fprintf(&sb, "  * %-22s => %s\n", rel, e.Kind)
+	}
+	sb.WriteString("\nMATCHES = {")
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "<b%d, a%d>", p[0]+1, p[1]+1)
+	}
+	fmt.Fprintf(&sb, "}\nsimilarity = %d/%d = %.0f%%\n",
+		len(pairs), len(in.BID), 100*float64(len(pairs))/float64(len(in.BID)))
+	fmt.Fprintf(&sb, "events: %d MIN PRUNE, %d MAX PRUNE, %d NO OVERLAP, %d NO MATCH, %d MATCH, %d CSF calls\n",
+		ev.MinPrunes, ev.MaxPrunes, ev.NoOverlaps, ev.NoMatches, ev.Matches, ev.CSFCalls)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderFigure regenerates the given paper figure (1-3).
+func RenderFigure(n int, w io.Writer) error {
+	switch n {
+	case 1:
+		return RenderFigure1(w)
+	case 2:
+		return RenderFigure2(w)
+	case 3:
+		return RenderFigure3(w)
+	default:
+		return fmt.Errorf("harness: no figure %d in the paper (want 1-3)", n)
+	}
+}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderFigure1MatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFigure1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"encoded_ID  = 46",
+		"encoded_Min = 28",
+		"encoded_Max = 73",
+		"= 5 ", "= 13", "= 9 ", "= 19",
+		"[2,11]", "[8,20]", "[5,16]", "[13,26]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure2MatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFigure2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"MATCHES = {<b2, a3>, <b5, a5>}",
+		"similarity = 2/5 = 40%",
+		"b1:40 < a3:(42, 72)",  // the figure's MIN PRUNE
+		"b3:67 > a1:(30, 55)",  // the figure's first MAX PRUNE
+		"b4:71 IN a4:(45, 73)", // offset moved by b3
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure3MatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFigure3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"similarity = 3/5 = 60%",
+		"2 CSF calls",
+		"b1:40 < a4:(45, 73)", // MIN PRUNE triggering the first flush
+		"b5:81 > a5:(50, 80)", // final MAX PRUNE
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 3 output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly two CSF flush lines.
+	if got := strings.Count(out, "CSF flush"); got != 2 {
+		t.Errorf("Figure 3 shows %d CSF flushes, want 2", got)
+	}
+	// b1 is covered by the first flush; b2 and b3 by the second.
+	if !strings.Contains(out, "<b1, a1>") && !strings.Contains(out, "<b1, a3>") {
+		t.Error("Figure 3 should cover b1 with a1 or a3")
+	}
+}
+
+func TestRenderFigureDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	for n := 1; n <= 3; n++ {
+		buf.Reset()
+		if err := RenderFigure(n, &buf); err != nil {
+			t.Errorf("RenderFigure(%d): %v", n, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("RenderFigure(%d) produced no output", n)
+		}
+	}
+	if err := RenderFigure(4, &buf); err == nil {
+		t.Error("expected error for figure 4")
+	}
+}

@@ -1,0 +1,298 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/dataset"
+)
+
+// tinyCfg keeps harness tests fast: ~0.2% of paper sizes.
+var tinyCfg = Config{Scale: 0.002, MinSize: 80, Seed: 7}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Number:  3,
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 3: demo") || !strings.Contains(out, "333") {
+		t.Errorf("text render missing content:\n%s", out)
+	}
+	buf.Reset()
+	if err := tbl.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| a | bb |") {
+		t.Errorf("markdown render missing header:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,bb\n1,2\n") {
+		t.Errorf("csv render wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunTable2IsStatic(t *testing.T) {
+	tbl := RunTable2()
+	if tbl.Number != 2 || len(tbl.Rows) != 20 {
+		t.Fatalf("Table 2 has %d rows, want 20", len(tbl.Rows))
+	}
+	if tbl.Rows[12][1] != "FC Barcelona" {
+		t.Errorf("cID 13 name_B = %q, want FC Barcelona", tbl.Rows[12][1])
+	}
+}
+
+func TestRunTable1Shape(t *testing.T) {
+	tbl, err := RunTable1(Config{Scale: 0.0005, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 27 {
+		t.Fatalf("Table 1 has %d rows, want 27", len(tbl.Rows))
+	}
+	// The VK-like sample must reproduce the paper's headline shape:
+	// Entertainment ranked first.
+	if tbl.Rows[0][1] != "Entertainment" {
+		t.Errorf("VK rank 1 = %s, want Entertainment", tbl.Rows[0][1])
+	}
+}
+
+// TestCaseStudyVKExactShape checks the reproduced Table 4 for the
+// paper's qualitative conclusions on the (scaled) VK dataset:
+//
+//  1. Ex-Baseline and Ex-MinMax report the same similarity.
+//  2. Measured exact similarity lands near the planted paper value.
+//  3. Ex-MinMax is faster than Ex-Baseline (the headline speedup).
+//  4. Ex-SuperEGO loses accuracy (never exceeds Ex-MinMax similarity).
+func TestCaseStudyVKExactShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study runs take a few seconds")
+	}
+	// The timing shape needs communities big enough for the encoding to
+	// amortize; 1% of paper sizes is the smallest reliable point.
+	tbl, results, err := RunCaseStudy(dataset.VK, false, true, Config{Scale: 0.01, MinSize: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Number != 4 || len(results) != 10 {
+		t.Fatalf("table %d with %d couples, want Table 4 with 10", tbl.Number, len(results))
+	}
+	var baselineFaster int
+	for _, cr := range results {
+		exB := cr.Results[csj.ExBaseline]
+		exM := cr.Results[csj.ExMinMax]
+		exE := cr.Results[csj.ExSuperEGO]
+		if exB == nil || exM == nil || exE == nil {
+			t.Fatalf("couple %d missing results", cr.CID)
+		}
+		if math.Abs(exB.Similarity-exM.Similarity) > 1e-9 {
+			t.Errorf("couple %d: Ex-Baseline %.4f != Ex-MinMax %.4f",
+				cr.CID, exB.Similarity, exM.Similarity)
+		}
+		planted := methodPaper(cr.Paper, csj.ExMinMax) / 100
+		if exM.Similarity < planted-0.01 {
+			t.Errorf("couple %d: exact similarity %.4f below planted %.4f",
+				cr.CID, exM.Similarity, planted)
+		}
+		if exM.Similarity > planted+0.10 {
+			t.Errorf("couple %d: exact similarity %.4f far above planted %.4f (incidental matches exploded)",
+				cr.CID, exM.Similarity, planted)
+		}
+		if exE.Similarity > exM.Similarity+1e-9 {
+			t.Errorf("couple %d: Ex-SuperEGO %.4f above Ex-MinMax %.4f",
+				cr.CID, exE.Similarity, exM.Similarity)
+		}
+		if exB.Elapsed < exM.Elapsed {
+			baselineFaster++
+		}
+	}
+	// The paper's headline: Ex-MinMax is emphatically faster than
+	// Ex-Baseline. At reduced scale allow a couple of inversions on the
+	// smallest couples.
+	if baselineFaster > 3 {
+		t.Errorf("Ex-Baseline was faster than Ex-MinMax on %d/10 couples; expected Ex-MinMax to win", baselineFaster)
+	}
+}
+
+// TestCaseStudySyntheticExactShape checks the reproduced Table 8 shape:
+// on the uniform Synthetic dataset all three exact methods agree.
+func TestCaseStudySyntheticExactShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study runs take a few seconds")
+	}
+	_, results, err := RunCaseStudy(dataset.Synthetic, false, true, tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range results {
+		exB := cr.Results[csj.ExBaseline].Similarity
+		exM := cr.Results[csj.ExMinMax].Similarity
+		exE := cr.Results[csj.ExSuperEGO].Similarity
+		if math.Abs(exB-exM) > 1e-9 {
+			t.Errorf("couple %d: Ex-Baseline %.4f != Ex-MinMax %.4f", cr.CID, exB, exM)
+		}
+		// Uniform data has essentially no boundary pairs, so SuperEGO's
+		// normalization loss vanishes (the paper's Table 8): allow at
+		// most a whisker of deviation.
+		if math.Abs(exE-exM) > 0.005 {
+			t.Errorf("couple %d: Ex-SuperEGO %.4f deviates from Ex-MinMax %.4f on Synthetic",
+				cr.CID, exE, exM)
+		}
+	}
+}
+
+// TestCaseStudyApproximateBounded checks Tables 3/7 shape: approximate
+// methods never exceed the exact similarity and land close below it.
+func TestCaseStudyApproximateBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study runs take a few seconds")
+	}
+	for _, kind := range []dataset.Kind{dataset.VK, dataset.Synthetic} {
+		_, apResults, err := RunCaseStudy(kind, false, false, tinyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, exResults, err := RunCaseStudy(kind, false, true, tinyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range apResults {
+			ap := apResults[i].Results[csj.ApMinMax].Similarity
+			ex := exResults[i].Results[csj.ExMinMax].Similarity
+			if ap > ex+1e-9 {
+				t.Errorf("%v couple %d: Ap-MinMax %.4f above Ex-MinMax %.4f",
+					kind, apResults[i].CID, ap, ex)
+			}
+			if ap < ex-0.05 {
+				t.Errorf("%v couple %d: Ap-MinMax %.4f unexpectedly far below Ex-MinMax %.4f",
+					kind, apResults[i].CID, ap, ex)
+			}
+		}
+	}
+}
+
+func TestRunTable11SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability run takes a few seconds")
+	}
+	cfg := Config{Scale: 0.0008, MinSize: 40, Seed: 5}
+	tbl, points, err := RunTable11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 20 || len(points) != 80 {
+		t.Fatalf("%d rows / %d points, want 20 / 80", len(tbl.Rows), len(points))
+	}
+	for _, p := range points {
+		if p.Result.Similarity < cfg.ScalabilityTarget/2 && p.Result.Similarity < 0.1 {
+			t.Errorf("%s size %d: similarity %.3f far below planted target",
+				p.Category, p.Size, p.Result.Similarity)
+		}
+	}
+}
+
+func TestRunTableDispatcher(t *testing.T) {
+	if _, err := RunTable(0, tinyCfg); err == nil {
+		t.Error("expected error for table 0")
+	}
+	if _, err := RunTable(12, tinyCfg); err == nil {
+		t.Error("expected error for table 12")
+	}
+	tbl, err := RunTable(2, tinyCfg)
+	if err != nil || tbl.Number != 2 {
+		t.Errorf("RunTable(2) = %v, %v", tbl, err)
+	}
+}
+
+func TestCaseStudyTableNumbers(t *testing.T) {
+	want := map[[3]bool]int{
+		// {synthetic, same, exact} -> table number
+		{false, false, false}: 3,
+		{false, false, true}:  4,
+		{false, true, false}:  5,
+		{false, true, true}:   6,
+		{true, false, false}:  7,
+		{true, false, true}:   8,
+		{true, true, false}:   9,
+		{true, true, true}:    10,
+	}
+	for k, n := range want {
+		kind := dataset.VK
+		if k[0] {
+			kind = dataset.Synthetic
+		}
+		if got := caseStudyTableNumber(kind, k[1], k[2]); got != n {
+			t.Errorf("caseStudyTableNumber(%v, %v, %v) = %d, want %d", kind, k[1], k[2], got, n)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations take a few seconds")
+	}
+	cfg := Config{Scale: 0.0015, MinSize: 60, Seed: 9}
+	for name, run := range Ablations {
+		tbl, err := run(cfg)
+		if err != nil {
+			t.Fatalf("ablation %s: %v", name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("ablation %s produced no rows", name)
+		}
+		var buf bytes.Buffer
+		if err := tbl.Render(&buf); err != nil {
+			t.Errorf("ablation %s render: %v", name, err)
+		}
+	}
+}
+
+func TestBuildCoupleDeterministic(t *testing.T) {
+	c := dataset.CoupleByID(3)
+	b1, a1, err := BuildCouple(c, dataset.VK, tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, a2, err := BuildCouple(c, dataset.VK, tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Size() != b2.Size() || a1.Size() != a2.Size() {
+		t.Fatal("sizes differ across identical configs")
+	}
+	for i := range b1.Users {
+		for j := range b1.Users[i] {
+			if b1.Users[i][j] != b2.Users[i][j] {
+				t.Fatal("same seed must generate identical communities")
+			}
+		}
+	}
+	// A different seed must generate different data.
+	b3, _, err := BuildCouple(c, dataset.VK, Config{Scale: tinyCfg.Scale, MinSize: tinyCfg.MinSize, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range b1.Users {
+		for j := range b1.Users[i] {
+			if b1.Users[i][j] != b3.Users[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds generated identical communities")
+	}
+}

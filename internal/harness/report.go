@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteReport runs the entire reproduction — the three figures, all
+// eleven tables, and every ablation — and writes a single markdown
+// document. This is what `csjbench -report` emits; at the default scale
+// it is the machine-generated companion of EXPERIMENTS.md.
+func WriteReport(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "# CSJ reproduction report\n\n")
+	fmt.Fprintf(w, "Scale %.3g of the paper's community sizes, seed %d, minimum size %d.\n\n",
+		cfg.Scale, cfg.Seed, cfg.MinSize)
+
+	fmt.Fprintf(w, "## Figures\n\n")
+	for n := 1; n <= 3; n++ {
+		fmt.Fprintf(w, "```\n")
+		if err := RenderFigure(n, w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "```\n\n")
+	}
+
+	fmt.Fprintf(w, "## Tables\n\n")
+	for n := 1; n <= 11; n++ {
+		t, err := RunTable(n, cfg)
+		if err != nil {
+			return err
+		}
+		if err := t.RenderMarkdown(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "## Ablations\n\n")
+	names := make([]string, 0, len(Ablations))
+	for name := range Ablations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t, err := Ablations[name](cfg)
+		if err != nil {
+			return err
+		}
+		if err := t.RenderMarkdown(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the full report takes several seconds")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Scale: 0.0008, MinSize: 30, Seed: 3}
+	if err := WriteReport(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# CSJ reproduction report",
+		"## Figures",
+		"encoded_ID  = 46", // Figure 1
+		"## Tables",
+		"**Table 1:",
+		"**Table 11:",
+		"## Ablations",
+		"Hopcroft-Karp",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// All eleven tables render.
+	for n := []string{"**Table 2:", "**Table 3:", "**Table 10:"}; len(n) > 0; n = n[1:] {
+		if !strings.Contains(out, n[0]) {
+			t.Errorf("report missing %q", n[0])
+		}
+	}
+}

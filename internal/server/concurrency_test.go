@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// The server must serve interleaved reads, writes, and joins safely
+// (run under -race in CI).
+func TestConcurrentRequests(t *testing.T) {
+	ts := newTestServer(t)
+	rng := rand.New(rand.NewSource(99))
+	bID := uploadCommunity(t, ts, "B", randUsers(rng, 40, 4, 6))
+	aID := uploadCommunity(t, ts, "A", randUsers(rng, 50, 4, 6))
+
+	var info JoinInfo
+	doJSON(t, "POST", ts.URL+"/joins", JoinRequest{Dim: 4, Epsilon: 1}, http.StatusCreated, &info)
+	joinURL := fmt.Sprintf("%s/joins/%d", ts.URL, info.ID)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					resp, err := http.Post(ts.URL+"/similarity", "application/json",
+						jsonBody(SimilarityRequest{B: bID, A: aID, Method: "ex-minmax",
+							Options: OptionsPayload{Epsilon: 1}}))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				case 1:
+					resp, err := http.Get(ts.URL + "/communities")
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				case 2:
+					v := []int32{int32(w), int32(i), 0, 1}
+					side := "B"
+					if i%2 == 0 {
+						side = "A"
+					}
+					resp, err := http.Post(joinURL+"/users", "application/json",
+						jsonBody(JoinUserRequest{Side: side, Vector: v}))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				default:
+					resp, err := http.Get(joinURL)
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The join must have absorbed all 20 user inserts (8 workers x 10
+	// requests, 1/4 of which are inserts).
+	var state JoinInfo
+	doJSON(t, "GET", joinURL, nil, http.StatusOK, &state)
+	if state.SizeB+state.SizeA != 20 {
+		t.Errorf("join absorbed %d users, want 20", state.SizeB+state.SizeA)
+	}
+}
+
+func jsonBody(v any) *bytes.Reader {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return bytes.NewReader(data)
+}

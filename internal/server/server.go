@@ -1,0 +1,578 @@
+// Package server exposes the CSJ library as a small JSON-over-HTTP
+// service: upload communities, compute similarities with any of the six
+// methods, rank candidate communities against a pivot, run the
+// two-phase top-k workflow, and maintain incremental joins under
+// follow/unfollow events. cmd/csjserve wraps it in a binary.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	csj "github.com/opencsj/csj"
+)
+
+// Server is the HTTP handler. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	mux *http.ServeMux
+	log *log.Logger
+
+	mu          sync.RWMutex
+	communities map[int64]*csj.Community
+	joins       map[int64]*joinState
+	nextComm    int64
+	nextJoin    int64
+}
+
+type joinState struct {
+	mu   sync.Mutex
+	join *csj.IncrementalJoin
+	dim  int
+	eps  int32
+}
+
+// New builds a server. logger may be nil to disable request logging.
+func New(logger *log.Logger) *Server {
+	s := &Server{
+		mux:         http.NewServeMux(),
+		log:         logger,
+		communities: make(map[int64]*csj.Community),
+		joins:       make(map[int64]*joinState),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /communities", s.handleCreateCommunity)
+	s.mux.HandleFunc("GET /communities", s.handleListCommunities)
+	s.mux.HandleFunc("GET /communities/{id}", s.handleGetCommunity)
+	s.mux.HandleFunc("DELETE /communities/{id}", s.handleDeleteCommunity)
+	s.mux.HandleFunc("POST /similarity", s.handleSimilarity)
+	s.mux.HandleFunc("POST /rank", s.handleRank)
+	s.mux.HandleFunc("POST /topk", s.handleTopK)
+	s.mux.HandleFunc("POST /joins", s.handleCreateJoin)
+	s.mux.HandleFunc("GET /joins/{id}", s.handleGetJoin)
+	s.mux.HandleFunc("POST /joins/{id}/users", s.handleJoinAddUser)
+	s.mux.HandleFunc("DELETE /joins/{id}/users/{side}/{uid}", s.handleJoinRemoveUser)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.log != nil {
+		s.log.Printf("%s %s", r.Method, r.URL.Path)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---- wire types ----
+
+// CommunityPayload is the JSON form of a community.
+type CommunityPayload struct {
+	Name     string    `json:"name"`
+	Category int       `json:"category"`
+	Users    [][]int32 `json:"users"`
+}
+
+// CommunityInfo summarizes a stored community.
+type CommunityInfo struct {
+	ID       int64  `json:"id"`
+	Name     string `json:"name"`
+	Category int    `json:"category"`
+	Size     int    `json:"size"`
+	Dim      int    `json:"dim"`
+}
+
+// OptionsPayload mirrors csj.Options for requests.
+type OptionsPayload struct {
+	Epsilon            int32   `json:"epsilon"`
+	Parts              int     `json:"parts,omitempty"`
+	EGOThreshold       int     `json:"ego_threshold,omitempty"`
+	Matcher            string  `json:"matcher,omitempty"` // "csf" (default) or "hopcroft-karp"
+	VerifyInteger      bool    `json:"verify_integer,omitempty"`
+	AllowSizeImbalance bool    `json:"allow_size_imbalance,omitempty"`
+	Workers            int     `json:"workers,omitempty"`
+	P                  float64 `json:"p,omitempty"`
+}
+
+func (o *OptionsPayload) toOptions() (*csj.Options, error) {
+	out := &csj.Options{
+		Epsilon:            o.Epsilon,
+		Parts:              o.Parts,
+		EGOThreshold:       o.EGOThreshold,
+		VerifyInteger:      o.VerifyInteger,
+		AllowSizeImbalance: o.AllowSizeImbalance,
+		Workers:            o.Workers,
+		P:                  o.P,
+	}
+	switch o.Matcher {
+	case "", "csf":
+	case "hopcroft-karp", "hopcroftkarp", "hk":
+		out.Matcher = csj.MatcherHopcroftKarp
+	default:
+		return nil, fmt.Errorf("unknown matcher %q", o.Matcher)
+	}
+	return out, nil
+}
+
+// SimilarityRequest asks for one join.
+type SimilarityRequest struct {
+	B       int64          `json:"b"`
+	A       int64          `json:"a"`
+	Method  string         `json:"method"`
+	Options OptionsPayload `json:"options"`
+	// Orient lets the server order the pair (smaller becomes B).
+	Orient bool `json:"orient,omitempty"`
+	// IncludePairs returns the matched user pairs (can be large).
+	IncludePairs bool `json:"include_pairs,omitempty"`
+}
+
+// SimilarityResponse is the result of one join.
+type SimilarityResponse struct {
+	Method     string     `json:"method"`
+	Similarity float64    `json:"similarity"`
+	Matched    int        `json:"matched"`
+	SizeB      int        `json:"size_b"`
+	SizeA      int        `json:"size_a"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+	Events     csj.Events `json:"events"`
+	Pairs      []csj.Pair `json:"pairs,omitempty"`
+}
+
+// RankRequest asks for a ranking of candidates against a pivot.
+type RankRequest struct {
+	Pivot      int64          `json:"pivot"`
+	Candidates []int64        `json:"candidates"`
+	Method     string         `json:"method"`
+	Options    OptionsPayload `json:"options"`
+}
+
+// RankEntry is one row of a ranking response.
+type RankEntry struct {
+	Community  int64   `json:"community"`
+	Name       string  `json:"name"`
+	Similarity float64 `json:"similarity"`
+	Skipped    bool    `json:"skipped,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// TopKRequest asks for the two-phase top-k workflow.
+type TopKRequest struct {
+	Pivot      int64          `json:"pivot"`
+	Candidates []int64        `json:"candidates"`
+	K          int            `json:"k"`
+	Options    OptionsPayload `json:"options"`
+}
+
+// TopKEntry is one row of a top-k response.
+type TopKEntry struct {
+	Community int64   `json:"community"`
+	Name      string  `json:"name"`
+	Approx    float64 `json:"approx_similarity"`
+	Exact     float64 `json:"exact_similarity"`
+	Refined   bool    `json:"refined"`
+	Skipped   bool    `json:"skipped,omitempty"`
+}
+
+// JoinRequest creates an incremental join.
+type JoinRequest struct {
+	Dim     int   `json:"dim"`
+	Epsilon int32 `json:"epsilon"`
+	Parts   int   `json:"parts,omitempty"`
+}
+
+// JoinInfo reports an incremental join's state.
+type JoinInfo struct {
+	ID         int64    `json:"id"`
+	Dim        int      `json:"dim"`
+	Epsilon    int32    `json:"epsilon"`
+	SizeB      int      `json:"size_b"`
+	SizeA      int      `json:"size_a"`
+	Matched    int      `json:"matched"`
+	Similarity *float64 `json:"similarity,omitempty"`
+	// SimilarityError explains why Similarity is absent (empty side or
+	// violated size precondition).
+	SimilarityError string `json:"similarity_error,omitempty"`
+}
+
+// JoinUserRequest adds one subscriber to a side of a join.
+type JoinUserRequest struct {
+	Side   string  `json:"side"` // "B" or "A"
+	Vector []int32 `json:"vector"`
+}
+
+// JoinUserResponse returns the assigned user ID and fresh join state.
+type JoinUserResponse struct {
+	UserID int      `json:"user_id"`
+	State  JoinInfo `json:"state"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleCreateCommunity(w http.ResponseWriter, r *http.Request) {
+	var p CommunityPayload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding community: %w", err))
+		return
+	}
+	c := &csj.Community{Name: p.Name, Category: p.Category, Users: p.Users}
+	if c.Category == 0 && p.Category == 0 {
+		c.Category = -1
+	}
+	if err := c.Validate(); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextComm++
+	id := s.nextComm
+	s.communities[id] = c
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.info(id, c))
+}
+
+func (s *Server) info(id int64, c *csj.Community) CommunityInfo {
+	return CommunityInfo{ID: id, Name: c.Name, Category: c.Category, Size: c.Size(), Dim: c.Dim()}
+}
+
+func (s *Server) handleListCommunities(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	out := make([]CommunityInfo, 0, len(s.communities))
+	for id, c := range s.communities {
+		out = append(out, s.info(id, c))
+	}
+	s.mu.RUnlock()
+	// Deterministic order for clients.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) community(r *http.Request) (int64, *csj.Community, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad community id: %w", err)
+	}
+	s.mu.RLock()
+	c := s.communities[id]
+	s.mu.RUnlock()
+	if c == nil {
+		return id, nil, fmt.Errorf("no community %d", id)
+	}
+	return id, c, nil
+}
+
+func (s *Server) handleGetCommunity(w http.ResponseWriter, r *http.Request) {
+	id, c, err := s.community(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(id, c))
+}
+
+func (s *Server) handleDeleteCommunity(w http.ResponseWriter, r *http.Request) {
+	id, _, err := s.community(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.communities, id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) lookup(id int64) (*csj.Community, error) {
+	s.mu.RLock()
+	c := s.communities[id]
+	s.mu.RUnlock()
+	if c == nil {
+		return nil, fmt.Errorf("no community %d", id)
+	}
+	return c, nil
+}
+
+func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	var req SimilarityRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := s.lookup(req.B)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	a, err := s.lookup(req.A)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	method, err := csj.ParseMethod(req.Method)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Orient {
+		b, a = csj.Orient(b, a)
+	}
+	res, err := csj.Similarity(b, a, method, opts)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, csj.ErrSizeConstraint) {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	resp := SimilarityResponse{
+		Method:     res.Method.String(),
+		Similarity: res.Similarity,
+		Matched:    len(res.Pairs),
+		SizeB:      res.SizeB,
+		SizeA:      res.SizeA,
+		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
+		Events:     res.Events,
+	}
+	if req.IncludePairs {
+		resp.Pairs = res.Pairs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req RankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pivot, err := s.lookup(req.Pivot)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	cands := make([]*csj.Community, len(req.Candidates))
+	for i, id := range req.Candidates {
+		if cands[i], err = s.lookup(id); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+	}
+	method, err := csj.ParseMethod(req.Method)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ranked, err := csj.Rank(pivot, cands, method, opts)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]RankEntry, len(ranked))
+	for i, e := range ranked {
+		out[i] = RankEntry{Community: req.Candidates[e.Index], Name: e.Name, Skipped: e.Skipped}
+		if e.Result != nil {
+			out[i].Similarity = e.Result.Similarity
+		}
+		if e.Err != nil {
+			out[i].Error = e.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pivot, err := s.lookup(req.Pivot)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	cands := make([]*csj.Community, len(req.Candidates))
+	for i, id := range req.Candidates {
+		if cands[i], err = s.lookup(id); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	top, err := csj.TopK(pivot, cands, req.K, opts)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]TopKEntry, len(top))
+	for i, e := range top {
+		out[i] = TopKEntry{
+			Community: req.Candidates[e.Index],
+			Name:      e.Name,
+			Approx:    e.ApproxSimilarity,
+			Skipped:   e.Skipped,
+		}
+		if e.Result != nil {
+			out[i].Exact = e.Result.Similarity
+			out[i].Refined = true
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := csj.NewIncrementalJoin(req.Dim, &csj.Options{Epsilon: req.Epsilon, Parts: req.Parts})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextJoin++
+	id := s.nextJoin
+	st := &joinState{join: j, dim: req.Dim, eps: req.Epsilon}
+	s.joins[id] = st
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, joinInfo(id, st))
+}
+
+func (s *Server) joinState(r *http.Request) (int64, *joinState, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad join id: %w", err)
+	}
+	s.mu.RLock()
+	st := s.joins[id]
+	s.mu.RUnlock()
+	if st == nil {
+		return id, nil, fmt.Errorf("no join %d", id)
+	}
+	return id, st, nil
+}
+
+func joinInfo(id int64, st *joinState) JoinInfo {
+	info := JoinInfo{
+		ID: id, Dim: st.dim, Epsilon: st.eps,
+		SizeB: st.join.SizeB(), SizeA: st.join.SizeA(),
+		Matched: st.join.Matched(),
+	}
+	if sim, err := st.join.Similarity(); err == nil {
+		info.Similarity = &sim
+	} else {
+		info.SimilarityError = err.Error()
+	}
+	return info
+}
+
+func (s *Server) handleGetJoin(w http.ResponseWriter, r *http.Request) {
+	id, st, err := s.joinState(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	st.mu.Lock()
+	info := joinInfo(id, st)
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleJoinAddUser(w http.ResponseWriter, r *http.Request) {
+	id, st, err := s.joinState(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req JoinUserRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var uid int
+	switch req.Side {
+	case "B", "b":
+		uid, err = st.join.AddB(req.Vector)
+	case "A", "a":
+		uid, err = st.join.AddA(req.Vector)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("side must be B or A, got %q", req.Side))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, JoinUserResponse{UserID: uid, State: joinInfo(id, st)})
+}
+
+func (s *Server) handleJoinRemoveUser(w http.ResponseWriter, r *http.Request) {
+	id, st, err := s.joinState(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	uid, err := strconv.Atoi(r.PathValue("uid"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad user id: %w", err))
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch r.PathValue("side") {
+	case "B", "b":
+		err = st.join.RemoveB(uid)
+	case "A", "a":
+		err = st.join.RemoveA(uid)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("side must be B or A"))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, joinInfo(id, st))
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,78 @@
+package vector
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV parser
+// and that everything it accepts round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("# category=3 name=X\n1,2,3\n4,5,6\n")
+	f.Add("0\n")
+	f.Add("1,2\n3,4\n")
+	f.Add("")
+	f.Add("#\n\n  7 , 8 \n")
+	f.Add("9999999999999,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadCSV(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, c); err != nil {
+			t.Fatalf("WriteCSV of accepted community: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written community: %v", err)
+		}
+		if !communitiesEqual(c, back) {
+			t.Fatal("CSV round trip not lossless")
+		}
+	})
+}
+
+// FuzzReadBinary checks that arbitrary bytes never panic the binary
+// parser.
+func FuzzReadBinary(f *testing.F) {
+	good := &Community{Name: "x", Category: 3, Users: []Vector{{1, 2}, {3, 4}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CSJC\x01"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		c, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(0); err != nil {
+			t.Fatalf("ReadBinary accepted an invalid community: %v", err)
+		}
+	})
+}
+
+// FuzzMatchEpsilon cross-checks the match predicate against the
+// Chebyshev distance on fuzz-provided vectors.
+func FuzzMatchEpsilon(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, int32(1))
+	f.Add([]byte{}, []byte{}, int32(0))
+	f.Fuzz(func(t *testing.T, ab, bb []byte, eps int32) {
+		if len(ab) != len(bb) || eps < 0 {
+			return
+		}
+		a := make(Vector, len(ab))
+		b := make(Vector, len(bb))
+		for i := range ab {
+			a[i] = int32(ab[i])
+			b[i] = int32(bb[i])
+		}
+		if got, want := MatchEpsilon(a, b, eps), ChebyshevDistance(a, b) <= eps; got != want {
+			t.Fatalf("MatchEpsilon=%v but Chebyshev says %v (a=%v b=%v eps=%d)", got, want, a, b, eps)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package vector
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk formats:
+//
+//   - CSV: one user per line, d comma-separated non-negative integers.
+//     A leading "# name=<n> category=<c>" comment line is optional.
+//   - Binary: a compact little-endian format with a magic header, used by
+//     cmd/csjgen for large generated datasets.
+
+const binaryMagic = "CSJC\x01"
+
+// WriteCSV writes the community in CSV form.
+func WriteCSV(w io.Writer, c *Community) error {
+	bw := bufio.NewWriter(w)
+	// name= consumes the rest of the line so that names may contain spaces.
+	if _, err := fmt.Fprintf(bw, "# category=%d name=%s\n", c.Category, csvEscape(c.Name)); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, u := range c.Users {
+		sb.Reset()
+		for i, v := range u {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.FormatInt(int64(v), 10))
+		}
+		sb.WriteByte('\n')
+		if _, err := bw.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func csvEscape(s string) string {
+	return strings.NewReplacer("\n", " ", "\r", " ").Replace(s)
+}
+
+// ReadCSV parses a community written by WriteCSV. Blank lines are
+// ignored; the first "# name=... category=..." comment, if present, sets
+// the community metadata.
+func ReadCSV(r io.Reader) (*Community, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	c := &Community{Category: -1}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			parseCSVHeader(text, c)
+			continue
+		}
+		fields := strings.Split(text, ",")
+		u := make(Vector, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("vector: csv line %d field %d: %w", line, i+1, err)
+			}
+			u[i] = int32(v)
+		}
+		c.Users = append(c.Users, u)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseCSVHeader(text string, c *Community) {
+	text = strings.TrimSpace(strings.TrimPrefix(text, "#"))
+	for text != "" {
+		kv := text
+		// name= consumes the rest of the line (names may contain spaces).
+		if i := strings.Index(text, " "); i >= 0 && !strings.HasPrefix(text, "name=") {
+			kv, text = text[:i], strings.TrimSpace(text[i+1:])
+		} else {
+			text = ""
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "name":
+			c.Name = v
+		case "category":
+			if n, err := strconv.Atoi(v); err == nil {
+				c.Category = n
+			}
+		}
+	}
+}
+
+// WriteBinary writes the community in the compact binary format.
+func WriteBinary(w io.Writer, c *Community) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	name := []byte(c.Name)
+	hdr := make([]byte, 0, 16)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(name)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(int32(c.Category)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(c.Users)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(c.Dim()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, u := range c.Users {
+		for _, v := range u {
+			binary.LittleEndian.PutUint32(buf, uint32(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a community written by WriteBinary.
+func ReadBinary(r io.Reader) (*Community, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vector: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("vector: bad magic %q", magic)
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("vector: reading header: %w", err)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[0:4])
+	category := int32(binary.LittleEndian.Uint32(hdr[4:8]))
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	d := binary.LittleEndian.Uint32(hdr[12:16])
+	if nameLen > 1<<20 || n > 1<<30 || d > 1<<16 {
+		return nil, fmt.Errorf("vector: implausible header (nameLen=%d n=%d d=%d)", nameLen, n, d)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("vector: reading name: %w", err)
+	}
+	c := &Community{Name: string(name), Category: int(category)}
+	c.Users = make([]Vector, n)
+	buf := make([]byte, 4*d)
+	for i := range c.Users {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("vector: reading user %d: %w", i, err)
+		}
+		u := make(Vector, d)
+		for j := range u {
+			u[j] = int32(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		c.Users[i] = u
+	}
+	if err := c.Validate(int(d)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

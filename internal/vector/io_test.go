@@ -1,0 +1,136 @@
+package vector
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomCommunity(rng *rand.Rand, name string, n, d int) *Community {
+	users := make([]Vector, n)
+	for i := range users {
+		u := make(Vector, d)
+		for j := range u {
+			u[j] = int32(rng.Intn(1000))
+		}
+		users[i] = u
+	}
+	return &Community{Name: name, Category: rng.Intn(27), Users: users}
+}
+
+func communitiesEqual(a, b *Community) bool {
+	if a.Name != b.Name || a.Category != b.Category || len(a.Users) != len(b.Users) {
+		return false
+	}
+	for i := range a.Users {
+		if len(a.Users[i]) != len(b.Users[i]) {
+			return false
+		}
+		for j := range a.Users[i] {
+			if a.Users[i][j] != b.Users[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomCommunity(rng, "Quick Recipes", 50, 27)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, c); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !communitiesEqual(c, got) {
+		t.Error("CSV round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomCommunity(rng, "Sportshacker", 100, 27)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, c); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !communitiesEqual(c, got) {
+		t.Error("binary round trip mismatch")
+	}
+}
+
+func TestBinaryNegativeCategoryRoundTrip(t *testing.T) {
+	c := &Community{Name: "n", Category: -1, Users: []Vector{{1, 2, 3}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, c); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if got.Category != -1 {
+		t.Errorf("Category = %d, want -1", got.Category)
+	}
+}
+
+func TestReadCSVHandlesWhitespaceAndBlankLines(t *testing.T) {
+	in := "# category=3 name=X\n\n 1 , 2 ,3\n4,5,6\n\n"
+	c, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if c.Name != "X" || c.Category != 3 || c.Size() != 2 || c.Dim() != 3 {
+		t.Errorf("parsed %+v, want name X, category 3, 2 users, 3 dims", c)
+	}
+	if c.Users[0][0] != 1 || c.Users[1][2] != 6 {
+		t.Errorf("unexpected values: %v", c.Users)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,two,3\n")); err == nil {
+		t.Error("expected parse error on non-numeric field")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,-2,3\n")); err == nil {
+		t.Error("expected validation error on negative counter")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n1,2,3\n")); err == nil {
+		t.Error("expected error on inconsistent dimensionality")
+	}
+}
+
+func TestReadBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOTMAGICATALL"))); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("expected error on empty input")
+	}
+}
+
+func TestReadBinaryRejectsTruncated(t *testing.T) {
+	c := &Community{Name: "t", Users: []Vector{{1, 2, 3}, {4, 5, 6}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, c); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) / 2, len(binaryMagic) + 3} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("expected error on truncation to %d bytes", cut)
+		}
+	}
+}

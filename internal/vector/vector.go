@@ -1,0 +1,118 @@
+// Package vector defines user-profile vectors and communities, the raw
+// data model of the CSJ problem.
+//
+// A user profile is a d-dimensional vector of non-negative integer
+// counters; dimension i holds the aggregate number of user preferences
+// (likes, views, purchases, ...) for category i. A community is a named
+// bag of user profiles, all with the same dimensionality.
+package vector
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Vector is a d-dimensional user profile. Each element is an aggregate
+// preference counter for one category and must be non-negative.
+type Vector []int32
+
+// ErrDimensionMismatch is returned when two vectors or communities with
+// different dimensionalities are combined.
+var ErrDimensionMismatch = errors.New("vector: dimension mismatch")
+
+// ErrNegativeCounter is returned by Validate when a counter is negative.
+var ErrNegativeCounter = errors.New("vector: negative counter")
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Validate checks that every counter is non-negative.
+func (v Vector) Validate() error {
+	for i, c := range v {
+		if c < 0 {
+			return fmt.Errorf("%w: dimension %d holds %d", ErrNegativeCounter, i, c)
+		}
+	}
+	return nil
+}
+
+// Sum returns the total number of preferences across all dimensions.
+// The result is an int64 because d*MaxInt32 overflows int32.
+func (v Vector) Sum() int64 {
+	var s int64
+	for _, c := range v {
+		s += int64(c)
+	}
+	return s
+}
+
+// Max returns the largest counter in v, or 0 for an empty vector.
+func (v Vector) Max() int32 {
+	var m int32
+	for _, c := range v {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MatchEpsilon reports whether a and b match under the CSJ per-dimension
+// condition: |a_i - b_i| <= eps for every dimension i. It panics if the
+// vectors have different lengths; callers are expected to have validated
+// community dimensionality up front.
+func MatchEpsilon(a, b Vector, eps int32) bool {
+	if len(a) != len(b) {
+		panic("vector: MatchEpsilon on vectors of different dimensionality")
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// ChebyshevDistance returns max_i |a_i - b_i|, the smallest eps for which
+// a and b match. It panics on dimension mismatch.
+func ChebyshevDistance(a, b Vector) int32 {
+	if len(a) != len(b) {
+		panic("vector: ChebyshevDistance on vectors of different dimensionality")
+	}
+	var m int32
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// L1Distance returns sum_i |a_i - b_i|. SuperEGO's epsilon adaptation in
+// the paper reasons about this aggregate distance.
+func L1Distance(a, b Vector) int64 {
+	if len(a) != len(b) {
+		panic("vector: L1Distance on vectors of different dimensionality")
+	}
+	var s int64
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchEpsilonBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		eps  int32
+		want bool
+	}{
+		{"identical", Vector{1, 2, 3}, Vector{1, 2, 3}, 0, true},
+		{"within one", Vector{1, 2, 3}, Vector{2, 1, 4}, 1, true},
+		{"one dim too far", Vector{1, 2, 3}, Vector{2, 1, 5}, 1, false},
+		{"exactly eps", Vector{10, 10}, Vector{13, 7}, 3, true},
+		{"eps zero mismatch", Vector{5}, Vector{6}, 0, false},
+		{"empty vectors", Vector{}, Vector{}, 1, true},
+		{"large counters", Vector{500000, 0}, Vector{485000, 15000}, 15000, true},
+		{"large counters fail", Vector{500000, 0}, Vector{484999, 15000}, 15000, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MatchEpsilon(tc.a, tc.b, tc.eps); got != tc.want {
+				t.Errorf("MatchEpsilon(%v, %v, %d) = %v, want %v", tc.a, tc.b, tc.eps, got, tc.want)
+			}
+			// Symmetry.
+			if got := MatchEpsilon(tc.b, tc.a, tc.eps); got != tc.want {
+				t.Errorf("MatchEpsilon(%v, %v, %d) = %v, want %v (symmetry)", tc.b, tc.a, tc.eps, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMatchEpsilonPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	MatchEpsilon(Vector{1, 2}, Vector{1}, 1)
+}
+
+// The paper's example from Section 3: eps=1, d=3 (Music, Sport, Education).
+func TestMatchEpsilonPaperSection3Example(t *testing.T) {
+	b1 := Vector{3, 4, 2}
+	b2 := Vector{2, 2, 3}
+	a1 := Vector{2, 3, 5}
+	a2 := Vector{2, 3, 1}
+	a3 := Vector{3, 3, 3}
+	const eps = 1
+	// b1 can be matched with a2 and a3 (but not a1).
+	if MatchEpsilon(b1, a1, eps) {
+		t.Error("b1 should not match a1 (Education differs by 3)")
+	}
+	if !MatchEpsilon(b1, a2, eps) {
+		t.Error("b1 should match a2")
+	}
+	if !MatchEpsilon(b1, a3, eps) {
+		t.Error("b1 should match a3")
+	}
+	// b2 can be matched only with a3.
+	if MatchEpsilon(b2, a1, eps) || MatchEpsilon(b2, a2, eps) {
+		t.Error("b2 should match neither a1 nor a2")
+	}
+	if !MatchEpsilon(b2, a3, eps) {
+		t.Error("b2 should match a3")
+	}
+}
+
+func TestChebyshevDistance(t *testing.T) {
+	a := Vector{1, 5, 9}
+	b := Vector{4, 5, 2}
+	if got := ChebyshevDistance(a, b); got != 7 {
+		t.Fatalf("ChebyshevDistance = %d, want 7", got)
+	}
+	if got := ChebyshevDistance(a, a); got != 0 {
+		t.Fatalf("ChebyshevDistance(a,a) = %d, want 0", got)
+	}
+}
+
+// Property: MatchEpsilon(a, b, eps) iff ChebyshevDistance(a, b) <= eps.
+func TestMatchEpsilonEquivalentToChebyshev(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(32)
+		a, b := make(Vector, d), make(Vector, d)
+		for i := 0; i < d; i++ {
+			a[i] = int32(rng.Intn(100))
+			b[i] = int32(rng.Intn(100))
+		}
+		eps := int32(rng.Intn(100))
+		return MatchEpsilon(a, b, eps) == (ChebyshevDistance(a, b) <= eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL1Distance(t *testing.T) {
+	a := Vector{1, 5, 9}
+	b := Vector{4, 5, 2}
+	if got := L1Distance(a, b); got != 10 {
+		t.Fatalf("L1Distance = %d, want 10", got)
+	}
+}
+
+// Property: per-dimension match implies L1 <= d*eps (the SuperEGO epsilon
+// adaptation used by the paper: eps_superego = d*eps).
+func TestPerDimMatchImpliesL1Bound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(27)
+		eps := int32(1 + rng.Intn(5))
+		a, b := make(Vector, d), make(Vector, d)
+		for i := 0; i < d; i++ {
+			a[i] = int32(rng.Intn(20))
+			// Force a match by perturbing within eps.
+			delta := int32(rng.Intn(int(2*eps+1))) - eps
+			v := a[i] + delta
+			if v < 0 {
+				v = 0
+			}
+			b[i] = v
+		}
+		if !MatchEpsilon(a, b, eps) {
+			return false
+		}
+		return L1Distance(a, b) <= int64(d)*int64(eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorSumMaxClone(t *testing.T) {
+	v := Vector{3, 1, 4, 1, 5}
+	if got := v.Sum(); got != 14 {
+		t.Errorf("Sum = %d, want 14", got)
+	}
+	if got := v.Max(); got != 5 {
+		t.Errorf("Max = %d, want 5", got)
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 3 {
+		t.Error("Clone is not a deep copy")
+	}
+	var empty Vector
+	if empty.Sum() != 0 || empty.Max() != 0 {
+		t.Error("empty vector Sum/Max should be 0")
+	}
+}
+
+func TestVectorSumNoOverflow(t *testing.T) {
+	const big = int32(1<<31 - 1)
+	v := Vector{big, big, big}
+	want := 3 * int64(big)
+	if got := v.Sum(); got != want {
+		t.Errorf("Sum = %d, want %d", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Vector{0, 1, 2}).Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if err := (Vector{0, -1, 2}).Validate(); err == nil {
+		t.Error("expected error on negative counter")
+	}
+}

@@ -1,0 +1,168 @@
+package csj
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// PreparedCommunity is a community with its MinMax encodings cached for
+// repeated joins (see Precompute). The underlying community must not be
+// mutated while the prepared form is in use.
+type PreparedCommunity struct {
+	p    *core.Prepared
+	name string
+}
+
+// Name returns the community's name.
+func (pc *PreparedCommunity) Name() string { return pc.name }
+
+// Size returns the community's size.
+func (pc *PreparedCommunity) Size() int { return pc.p.Size() }
+
+// Precompute encodes a community once for repeated MinMax joins under
+// the given options (Epsilon and Parts are used). The paper's broadcast
+// scenario joins "a variety of community pairs"; precomputing turns
+// N*(N-1)/2 pairwise joins from O(N^2) encodings into O(N).
+func Precompute(c *Community, opts *Options) (*PreparedCommunity, error) {
+	o := opts.orDefault()
+	ic := c.internal()
+	if err := ic.Validate(0); err != nil {
+		return nil, err
+	}
+	p, err := core.Prepare(ic, core.Options{Eps: o.Epsilon, Parts: o.Parts})
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedCommunity{p: p, name: c.Name}, nil
+}
+
+// SavePreparedCommunity writes a prepared community (vectors plus both
+// cached encodings) to a file, so later processes can join it without
+// re-encoding.
+func SavePreparedCommunity(path string, pc *PreparedCommunity) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := core.WritePrepared(f, pc.p)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("csj: saving prepared community %s: %w", path, werr)
+	}
+	return nil
+}
+
+// LoadPreparedCommunity reads a file written by SavePreparedCommunity.
+func LoadPreparedCommunity(path string) (*PreparedCommunity, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := core.ReadPrepared(f)
+	if err != nil {
+		return nil, fmt.Errorf("csj: loading prepared community %s: %w", path, err)
+	}
+	return &PreparedCommunity{p: p, name: p.Community().Name}, nil
+}
+
+// SimilarityPrepared joins two precomputed communities with a MinMax
+// method (ApMinMax or ExMinMax; the other methods do not use the cached
+// encodings). b must be the smaller community unless
+// opts.AllowSizeImbalance is set.
+func SimilarityPrepared(b, a *PreparedCommunity, method Method, opts *Options) (*Result, error) {
+	o := opts.orDefault()
+	if method != ApMinMax && method != ExMinMax {
+		return nil, fmt.Errorf("%w: SimilarityPrepared supports Ap-MinMax and Ex-MinMax, got %v",
+			ErrUnknownMethod, method)
+	}
+	if !o.AllowSizeImbalance {
+		if err := vector.CheckSizes(b.p.Community(), a.p.Community()); err != nil {
+			return nil, fmt.Errorf("%w (pass AllowSizeImbalance to override)", err)
+		}
+	}
+	copts := core.Options{Eps: o.Epsilon, Parts: o.Parts,
+		Matcher: o.Matcher.matcher(), DisableSkipOffset: o.DisableSkipOffset}
+	run := core.ApMinMaxPrepared
+	if method == ExMinMax {
+		run = core.ExMinMaxPrepared
+	}
+	res, err := run(b.p, a.p, copts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Method: method,
+		Pairs:  make([]Pair, len(res.Pairs)),
+		SizeB:  b.Size(),
+		SizeA:  a.Size(),
+		Events: Events(res.Events),
+	}
+	for i, p := range res.Pairs {
+		out.Pairs[i] = Pair{B: int(p.B), A: int(p.A)}
+	}
+	p := 1.0
+	if !method.IsExact() && o.P > 0 {
+		p = o.P
+	}
+	out.Similarity = p * float64(len(out.Pairs)) / float64(b.Size())
+	return out, nil
+}
+
+// MatrixEntry is one cell of a similarity matrix: communities I and J
+// (indexes into the input slice) and their CSJ result, or the reason
+// the pair was not scored.
+type MatrixEntry struct {
+	I, J int
+	// Result is the join result with the smaller community as B; nil
+	// when Skipped.
+	Result *Result
+	// Skipped reports a violated size precondition.
+	Skipped bool
+}
+
+// SimilarityMatrix scores every unordered pair of the given communities
+// with a MinMax method, encoding each community exactly once. Pairs
+// violating ceil(|A|/2) <= |B| are skipped unless
+// opts.AllowSizeImbalance is set. Entries are returned in (I, J) order
+// with I < J.
+func SimilarityMatrix(comms []*Community, method Method, opts *Options) ([]MatrixEntry, error) {
+	if len(comms) < 2 {
+		return nil, errors.New("csj: SimilarityMatrix needs at least two communities")
+	}
+	prepared := make([]*PreparedCommunity, len(comms))
+	for i, c := range comms {
+		p, err := Precompute(c, opts)
+		if err != nil {
+			return nil, fmt.Errorf("csj: preparing community %d (%s): %w", i, c.Name, err)
+		}
+		prepared[i] = p
+	}
+	var out []MatrixEntry
+	for i := 0; i < len(prepared); i++ {
+		for j := i + 1; j < len(prepared); j++ {
+			b, a := prepared[i], prepared[j]
+			entry := MatrixEntry{I: i, J: j}
+			if b.Size() > a.Size() {
+				b, a = a, b
+			}
+			res, err := SimilarityPrepared(b, a, method, opts)
+			switch {
+			case err == nil:
+				entry.Result = res
+			case errors.Is(err, ErrSizeConstraint):
+				entry.Skipped = true
+			default:
+				return nil, fmt.Errorf("csj: joining %s with %s: %w", b.Name(), a.Name(), err)
+			}
+			out = append(out, entry)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package csj
+
+import (
+	"errors"
+	"sort"
+)
+
+// Ranked is one entry of a Rank result: a candidate community scored
+// against the pivot.
+type Ranked struct {
+	// Index is the candidate's position in the input slice.
+	Index int
+	// Name is the candidate community's name.
+	Name string
+	// Result is the CSJ result against the pivot, nil when Skipped.
+	Result *Result
+	// Skipped reports that the pair violated the CSJ size precondition
+	// and AllowSizeImbalance was not set.
+	Skipped bool
+	// Err records a per-candidate failure other than the size
+	// precondition (e.g. dimension mismatch); such candidates sort last.
+	Err error
+}
+
+// Rank scores every candidate community against the pivot and returns
+// them in descending similarity order — the paper's broadcast
+// recommendation: the online system compares a variety of community
+// pairs and prioritizes recommendations by the resulting ranking
+// (Section 1.2 (ii.b)).
+//
+// Each pivot/candidate pair is oriented automatically (the smaller
+// community becomes B). Pairs that violate ceil(|A|/2) <= |B| are
+// skipped unless opts.AllowSizeImbalance is set; skipped and failed
+// candidates sort after scored ones.
+func Rank(pivot *Community, candidates []*Community, method Method, opts *Options) ([]Ranked, error) {
+	if pivot == nil || len(candidates) == 0 {
+		return nil, errors.New("csj: Rank needs a pivot and at least one candidate")
+	}
+	out := make([]Ranked, len(candidates))
+	for i, cand := range candidates {
+		out[i] = Ranked{Index: i, Name: cand.Name}
+		b, a := Orient(pivot, cand)
+		res, err := Similarity(b, a, method, opts)
+		switch {
+		case err == nil:
+			out[i].Result = res
+		case errors.Is(err, ErrSizeConstraint):
+			out[i].Skipped = true
+		default:
+			out[i].Err = err
+		}
+	}
+	sort.SliceStable(out, func(x, y int) bool {
+		rx, ry := out[x].Result, out[y].Result
+		switch {
+		case rx != nil && ry != nil:
+			return rx.Similarity > ry.Similarity
+		case rx != nil:
+			return true
+		default:
+			return false
+		}
+	})
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package csj
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TopKResult is one entry of a TopK answer.
+type TopKResult struct {
+	// Index is the candidate's position in the input slice.
+	Index int
+	// Name is the candidate community's name.
+	Name string
+	// ApproxSimilarity is the phase-1 (Ap-MinMax) score.
+	ApproxSimilarity float64
+	// Result is the phase-2 (Ex-MinMax) result; nil when the candidate
+	// was eliminated in phase 1 or skipped.
+	Result *Result
+	// Skipped reports a violated size precondition.
+	Skipped bool
+}
+
+// TopK returns the k candidate communities most similar to the pivot,
+// using the paper's two-phase workflow: the fast approximate method
+// prefilters all candidates, and the exact method refines only the
+// survivors ("the time-consuming exact method uses the results of the
+// fast approximate method as input to alleviate its total execution
+// overhead", Section 3). The exact method re-ranks the survivors, so
+// the returned order reflects exact similarities.
+//
+// Each pair is oriented automatically; pairs violating
+// ceil(|A|/2) <= |B| are skipped unless opts.AllowSizeImbalance is set.
+// The refinement pool is 2k (or all candidates when fewer score), which
+// absorbs the approximate ranking's noise; candidates eliminated in
+// phase 1 carry only their approximate score.
+func TopK(pivot *Community, candidates []*Community, k int, opts *Options) ([]TopKResult, error) {
+	if pivot == nil || len(candidates) == 0 {
+		return nil, errors.New("csj: TopK needs a pivot and at least one candidate")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("csj: TopK needs k >= 1, got %d", k)
+	}
+
+	// Phase 1: approximate prefilter.
+	results := make([]TopKResult, len(candidates))
+	for i, cand := range candidates {
+		results[i] = TopKResult{Index: i, Name: cand.Name, Skipped: true}
+		b, a := Orient(pivot, cand)
+		res, err := Similarity(b, a, ApMinMax, opts)
+		if err != nil {
+			if errors.Is(err, ErrSizeConstraint) {
+				continue
+			}
+			return nil, fmt.Errorf("csj: phase 1 on %s: %w", cand.Name, err)
+		}
+		results[i].Skipped = false
+		results[i].ApproxSimilarity = res.Similarity
+	}
+	sort.SliceStable(results, func(x, y int) bool {
+		if results[x].Skipped != results[y].Skipped {
+			return !results[x].Skipped
+		}
+		return results[x].ApproxSimilarity > results[y].ApproxSimilarity
+	})
+
+	// Phase 2: exact refinement of the survivors.
+	pool := 2 * k
+	refined := 0
+	for i := range results {
+		if results[i].Skipped || refined >= pool {
+			break
+		}
+		cand := candidates[results[i].Index]
+		b, a := Orient(pivot, cand)
+		res, err := Similarity(b, a, ExMinMax, opts)
+		if err != nil {
+			return nil, fmt.Errorf("csj: phase 2 on %s: %w", cand.Name, err)
+		}
+		results[i].Result = res
+		refined++
+	}
+	sort.SliceStable(results, func(x, y int) bool {
+		rx, ry := results[x].Result, results[y].Result
+		switch {
+		case rx != nil && ry != nil:
+			return rx.Similarity > ry.Similarity
+		case rx != nil:
+			return true
+		case ry != nil:
+			return false
+		case results[x].Skipped != results[y].Skipped:
+			return !results[x].Skipped
+		default:
+			return results[x].ApproxSimilarity > results[y].ApproxSimilarity
+		}
+	})
+	if k > len(results) {
+		k = len(results)
+	}
+	return results[:k], nil
+}
