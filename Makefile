@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check is the CI gate: vet, build, and the full test suite under the
+# race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the batch-engine benchmarks (serial vs parallel) with
+# allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimilarityMatrix|BenchmarkTopK' -benchmem .

@@ -1,0 +1,101 @@
+package csj
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/opencsj/csj/internal/core"
+)
+
+// This file is the batch-join engine shared by SimilarityMatrix, TopK,
+// and Rank: a bounded worker pool with deterministic task numbering,
+// first-error cancellation, and one reusable core.Scratch per worker.
+//
+// Batch engines parallelize across pairs (the fan-out axis of the
+// paper's broadcast scenario) and run each individual join serially, so
+// total concurrency is bounded by the worker count and every cell is
+// byte-for-byte the serial join's answer.
+
+// batchWorkers resolves the worker count of the batch engines:
+// opts.Workers when positive, else GOMAXPROCS.
+func batchWorkers(o *Options) int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPool fans n independent tasks across at most workers goroutines.
+// Tasks are numbered 0..n-1; idx identifies the task (results are
+// written to idx-addressed slots, keeping output order deterministic)
+// and worker identifies the goroutine (0..workers-1, for per-worker
+// scratch). The first task error stops the pool: no new task starts,
+// in-flight tasks finish, and that error is returned.
+func runPool(workers, n int, task func(worker, idx int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := task(w, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// scratchPool lazily hands each pool worker its own core.Scratch, so
+// repeated prepared joins on one worker stop allocating scan state.
+type scratchPool []*core.Scratch
+
+func newScratchPool(workers int) scratchPool { return make(scratchPool, workers) }
+
+func (sp scratchPool) get(worker int) *core.Scratch {
+	if sp[worker] == nil {
+		sp[worker] = core.NewScratch()
+	}
+	return sp[worker]
+}
+
+// orientPrepared orders a prepared pair like Orient: the smaller
+// community becomes B, ties keep the input order.
+func orientPrepared(x, y *PreparedCommunity) (b, a *PreparedCommunity) {
+	if x.Size() <= y.Size() {
+		return x, y
+	}
+	return y, x
+}

@@ -1,0 +1,79 @@
+package csj
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPoolCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := runPool(workers, n, func(_, i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunPoolFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := runPool(4, 1000, func(_, i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// In-flight tasks may finish, but the bulk of the queue must have
+	// been abandoned after the failure.
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("ran %d tasks despite early error", got)
+	}
+}
+
+func TestRunPoolWorkerIDsStayInRange(t *testing.T) {
+	const workers = 5
+	var bad atomic.Int32
+	if err := runPool(workers, 200, func(w, _ int) error {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("%d tasks saw a worker id outside [0,%d)", bad.Load(), workers)
+	}
+}
+
+func TestRunPoolZeroTasks(t *testing.T) {
+	if err := runPool(3, 0, func(_, _ int) error {
+		t.Error("task ran with n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchWorkersDefault(t *testing.T) {
+	if got := batchWorkers(&Options{}); got < 1 {
+		t.Errorf("batchWorkers(0) = %d, want >= 1", got)
+	}
+	if got := batchWorkers(&Options{Workers: 3}); got != 3 {
+		t.Errorf("batchWorkers(3) = %d", got)
+	}
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/dataset"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// batchConfig parameterizes the -batch benchmark mode.
+type batchConfig struct {
+	Communities int
+	Size        int
+	Workers     int
+	K           int
+	Seed        int64
+}
+
+// batchReport is the JSON emitted by -batch: wall-clock and allocation
+// figures for the batch-join engine, serial versus parallel.
+type batchReport struct {
+	Communities   int `json:"communities"`
+	CommunitySize int `json:"community_size"`
+	Workers       int `json:"workers"`
+	GOMAXPROCS    int `json:"gomaxprocs"`
+
+	MatrixSerialNsOp       int64   `json:"matrix_serial_ns_op"`
+	MatrixParallelNsOp     int64   `json:"matrix_parallel_ns_op"`
+	MatrixSpeedup          float64 `json:"matrix_speedup"`
+	MatrixSerialAllocsOp   int64   `json:"matrix_serial_allocs_op"`
+	MatrixParallelAllocsOp int64   `json:"matrix_parallel_allocs_op"`
+
+	TopKSerialNsOp   int64   `json:"topk_serial_ns_op"`
+	TopKParallelNsOp int64   `json:"topk_parallel_ns_op"`
+	TopKSpeedup      float64 `json:"topk_speedup"`
+
+	// Steady-state allocations of one prepared join run through a
+	// reused scratch and result (the batch engine's hot path).
+	ApPreparedScratchAllocsOp float64 `json:"ap_prepared_scratch_allocs_op"`
+	ExPreparedScratchAllocsOp float64 `json:"ex_prepared_scratch_allocs_op"`
+	// The same joins through the one-shot prepared API, for comparison.
+	ApPreparedFreshAllocsOp float64 `json:"ap_prepared_fresh_allocs_op"`
+	ExPreparedFreshAllocsOp float64 `json:"ex_prepared_fresh_allocs_op"`
+}
+
+// batchCommunities synthesizes n communities over a shared VK-like user
+// pool, so pairwise similarities are non-trivial (the paper's broadcast
+// scenario: brand pages with overlapping subscriber bases).
+func batchCommunities(cfg batchConfig) []*csj.Community {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := dataset.NewGenerator(dataset.VK, rng, 0)
+	pool := make([]vector.Vector, cfg.Size*2)
+	for i := range pool {
+		pool[i] = gen.User()
+	}
+	comms := make([]*csj.Community, cfg.Communities)
+	for c := range comms {
+		// Sizes vary within ±10% so every pair satisfies the CSJ size
+		// precondition; ~30% of each community comes from the pool.
+		size := cfg.Size - cfg.Size/10 + rng.Intn(cfg.Size/5+1)
+		users := make([]csj.Vector, size)
+		for i := range users {
+			if rng.Float64() < 0.3 {
+				src := pool[rng.Intn(len(pool))]
+				u := make(vector.Vector, len(src))
+				copy(u, src)
+				users[i] = []int32(u)
+			} else {
+				users[i] = []int32(gen.User())
+			}
+		}
+		comms[c] = &csj.Community{Name: fmt.Sprintf("brand-%02d", c), Category: -1, Users: users}
+	}
+	return comms
+}
+
+func runBatch(w io.Writer, cfg batchConfig) error {
+	if cfg.Communities < 2 {
+		return fmt.Errorf("-batch needs at least 2 communities, got %d", cfg.Communities)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	comms := batchCommunities(cfg)
+	const eps = dataset.EpsilonVK
+
+	rep := batchReport{
+		Communities:   cfg.Communities,
+		CommunitySize: cfg.Size,
+		Workers:       cfg.Workers,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+
+	serialOpts := &csj.Options{Epsilon: eps, Workers: 1}
+	parallelOpts := &csj.Options{Epsilon: eps, Workers: cfg.Workers}
+
+	matrixBench := func(opts *csj.Options) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := csj.SimilarityMatrix(comms, csj.ExMinMax, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	ms := matrixBench(serialOpts)
+	mp := matrixBench(parallelOpts)
+	rep.MatrixSerialNsOp = ms.NsPerOp()
+	rep.MatrixParallelNsOp = mp.NsPerOp()
+	rep.MatrixSerialAllocsOp = ms.AllocsPerOp()
+	rep.MatrixParallelAllocsOp = mp.AllocsPerOp()
+	if mp.NsPerOp() > 0 {
+		rep.MatrixSpeedup = float64(ms.NsPerOp()) / float64(mp.NsPerOp())
+	}
+
+	pivot, cands := comms[0], comms[1:]
+	topkBench := func(opts *csj.Options) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := csj.TopK(pivot, cands, cfg.K, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	ts := topkBench(serialOpts)
+	tp := topkBench(parallelOpts)
+	rep.TopKSerialNsOp = ts.NsPerOp()
+	rep.TopKParallelNsOp = tp.NsPerOp()
+	if tp.NsPerOp() > 0 {
+		rep.TopKSpeedup = float64(ts.NsPerOp()) / float64(tp.NsPerOp())
+	}
+
+	// Prepared-join allocation profile: the same pair joined through the
+	// scratch hot path versus the one-shot API.
+	ib, ia := comms[0], comms[1]
+	if ib.Size() > ia.Size() {
+		ib, ia = ia, ib
+	}
+	copts := core.Options{Eps: eps}
+	pb, err := core.Prepare(toInternal(ib), copts)
+	if err != nil {
+		return err
+	}
+	pa, err := core.Prepare(toInternal(ia), copts)
+	if err != nil {
+		return err
+	}
+	scratch := core.NewScratch()
+	var res core.Result
+	rep.ApPreparedScratchAllocsOp = testing.AllocsPerRun(100, func() {
+		if err := core.ApMinMaxPreparedInto(pb, pa, copts, scratch, &res); err != nil {
+			panic(err)
+		}
+	})
+	rep.ExPreparedScratchAllocsOp = testing.AllocsPerRun(100, func() {
+		if err := core.ExMinMaxPreparedInto(pb, pa, copts, scratch, &res); err != nil {
+			panic(err)
+		}
+	})
+	rep.ApPreparedFreshAllocsOp = testing.AllocsPerRun(100, func() {
+		if _, err := core.ApMinMaxPrepared(pb, pa, copts); err != nil {
+			panic(err)
+		}
+	})
+	rep.ExPreparedFreshAllocsOp = testing.AllocsPerRun(100, func() {
+		if _, err := core.ExMinMaxPrepared(pb, pa, copts); err != nil {
+			panic(err)
+		}
+	})
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func toInternal(c *csj.Community) *vector.Community {
+	users := make([]vector.Vector, len(c.Users))
+	for i, u := range c.Users {
+		users[i] = vector.Vector(u)
+	}
+	return &vector.Community{Name: c.Name, Category: c.Category, Users: users}
+}

@@ -10,9 +10,13 @@
 //	csjbench -ablation parts          # run one ablation study
 //	csjbench -ablation all            # run every ablation study
 //	csjbench -table 11 -scale 0.005   # smaller/faster scalability sweep
+//	csjbench -batch -workers 8        # batch-join engine: serial vs parallel, JSON
 //
 // Flags -scale, -minsize, and -seed control the synthesized data;
-// -format selects text (default), markdown, or csv output.
+// -format selects text (default), markdown, or csv output. The -batch
+// mode measures the worker-pool SimilarityMatrix/TopK engine on N
+// synthesized communities (-communities, -batchsize, -workers, -topkk)
+// and emits a JSON report with ns/op, allocs/op, and speedups.
 package main
 
 import (
@@ -48,6 +52,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format   = fs.String("format", "text", "output format: text, markdown, or csv")
 		out      = fs.String("o", "", "output file (default stdout)")
 		quiet    = fs.Bool("q", false, "suppress progress lines on stderr")
+
+		batch     = fs.Bool("batch", false, "benchmark the batch-join engine (JSON output)")
+		nComms    = fs.Int("communities", 12, "batch mode: number of synthesized communities")
+		batchSize = fs.Int("batchsize", 400, "batch mode: base community size")
+		workers   = fs.Int("workers", 0, "batch mode: parallel worker count (0 = GOMAXPROCS)")
+		topkK     = fs.Int("topkk", 3, "batch mode: k of the TopK benchmark")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +105,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	switch {
+	case *batch:
+		return runBatch(w, batchConfig{
+			Communities: *nComms,
+			Size:        *batchSize,
+			Workers:     *workers,
+			K:           *topkK,
+			Seed:        *seed,
+		})
 	case *report:
 		return harness.WriteReport(w, cfg)
 	case *figure != 0:

@@ -17,6 +17,7 @@
 //	POST   /similarity                      {"b", "a", "method", "options": {"epsilon": 1}}
 //	POST   /rank                            {"pivot", "candidates", "method", "options"}
 //	POST   /topk                            {"pivot", "candidates", "k", "options"}
+//	POST   /matrix                          {"communities": [ids], "method", "options"}
 //	POST   /joins                           {"dim", "epsilon"}
 //	GET    /joins/{id}
 //	POST   /joins/{id}/users                {"side": "B", "vector": [...]}

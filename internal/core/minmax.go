@@ -132,11 +132,15 @@ func encode(b, a *vector.Community, opts *Options) (*Input, *encoding.BBuffer, *
 }
 
 func translate(pairs [][2]int, bb *encoding.BBuffer, ab *encoding.ABuffer) []matching.Pair {
-	out := make([]matching.Pair, len(pairs))
-	for i, p := range pairs {
-		out[i] = matching.Pair{B: bb.Entries[p[0]].Ref, A: ab.Entries[p[1]].Ref}
+	return translateInto(make([]matching.Pair, 0, len(pairs)), pairs, bb, ab)
+}
+
+// translateInto appends the real-ID form of the position pairs to dst.
+func translateInto(dst []matching.Pair, pairs [][2]int, bb *encoding.BBuffer, ab *encoding.ABuffer) []matching.Pair {
+	for _, p := range pairs {
+		dst = append(dst, matching.Pair{B: bb.Entries[p[0]].Ref, A: ab.Entries[p[1]].Ref})
 	}
-	return out
+	return dst
 }
 
 // ApMinMax runs the approximate MinMax method (Algorithm Ap-MinMax) on
@@ -150,7 +154,7 @@ func ApMinMax(b, a *vector.Community, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
-	pairs := apScan(in, &res.Events, opts.Trace)
+	pairs := apScan(in, &res.Events, opts.Trace, nil)
 	res.Pairs = translate(pairs, bb, ab)
 	return res, nil
 }
@@ -166,7 +170,7 @@ func ExMinMax(b, a *vector.Community, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
-	pairs := exScan(in, opts.matcher(), &res.Events, opts.Trace)
+	pairs := exScan(in, opts.matcher(), &res.Events, opts.Trace, nil)
 	res.Pairs = translate(pairs, bb, ab)
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"github.com/opencsj/csj/internal/matching"
@@ -60,17 +61,27 @@ func ExMinMaxParallel(b, a *vector.Community, opts Options, workers int) (*Resul
 	wg.Wait()
 
 	res := &Result{}
-	merged := matching.NewGraph()
+	// Merge the shard graphs in (bPos, aPos) edge order rather than
+	// shard-interleaved order, so the matcher sees one canonical graph:
+	// CSF's tie-breaking then yields the same pairs on every run for a
+	// fixed worker count (Hopcroft–Karp is order-independent anyway).
+	var edges [][2]int32
 	for w := range shards {
 		if shards[w].graph == nil {
 			continue
 		}
 		res.Events.Add(shards[w].events)
-		for _, bPos := range shards[w].graph.BUsers() {
-			for _, aPos := range shards[w].graph.Matches(bPos) {
-				merged.AddEdge(bPos, aPos)
-			}
+		edges = shards[w].graph.AppendEdges(edges)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
 		}
+		return edges[i][1] < edges[j][1]
+	})
+	merged := matching.NewGraph()
+	for _, e := range edges {
+		merged.AddEdge(e[0], e[1])
 	}
 	if merged.Edges() > 0 {
 		res.Events.CSFCalls++

@@ -84,7 +84,9 @@ func ReadPrepared(r io.Reader) (*Prepared, error) {
 			return nil, fmt.Errorf("core: prepared B entry %d does not match its vector", i)
 		}
 	}
-	return &Prepared{comm: comm, layout: bb.Layout, eps: eps, bb: bb, ab: ab}, nil
+	p := &Prepared{comm: comm, layout: bb.Layout, eps: eps, bb: bb, ab: ab}
+	p.initViews()
+	return p, nil
 }
 
 // sampleIndexes returns a deterministic spread of indexes to verify.

@@ -42,7 +42,7 @@ type Input struct {
 // incremental maintenance). It returns matched (bPos, aPos) position
 // pairs into the sorted buffers.
 func ScanAp(in *Input, ev *Events, tr *Trace) [][2]int {
-	return apScan(in, ev, tr)
+	return apScan(in, ev, tr, nil)
 }
 
 // ScanEx runs the exact MinMax pairing process on a prepared Input,
@@ -52,17 +52,26 @@ func ScanEx(in *Input, matcher matching.Matcher, ev *Events, tr *Trace) [][2]int
 	if matcher == nil {
 		matcher = matching.CSF
 	}
-	return exScan(in, matcher, ev, tr)
+	return exScan(in, matcher, ev, tr, nil)
 }
 
 // apScan runs the approximate MinMax pairing process (Algorithm
 // Ap-MinMax, lines 5-13). It returns the matched (bPos, aPos) position
 // pairs. A matched A entry is consumed: the scan proceeds with the next
 // B user and the entry is skipped from then on, which is what makes the
-// method approximate (greedy first-match, possible false misses).
-func apScan(in *Input, ev *Events, tr *Trace) [][2]int {
+// method approximate (greedy first-match, possible false misses). A
+// non-nil scratch donates its used bitmap and pair buffer; the returned
+// slice then aliases the scratch and is only valid until the next scan
+// that uses it.
+func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) [][2]int {
 	var pairs [][2]int
-	used := make([]bool, len(in.AMin))
+	var used []bool
+	if s != nil {
+		pairs = s.pairs[:0]
+		used = s.usedBitmap(len(in.AMin))
+	} else {
+		used = make([]bool, len(in.AMin))
+	}
 	offset := 0
 	for bi := range in.BID {
 		skip := true
@@ -112,6 +121,9 @@ func apScan(in *Input, ev *Events, tr *Trace) [][2]int {
 			}
 		}
 	}
+	if s != nil {
+		s.pairs = pairs // keep the grown capacity for the next scan
+	}
 	return pairs
 }
 
@@ -121,10 +133,19 @@ func apScan(in *Input, ev *Events, tr *Trace) [][2]int {
 // segment), and flushes the segment through the matcher as soon as the
 // next B user's encoded ID exceeds maxV — at that point no future B user
 // can reach any matched A user, so the segment is safely closed (no
-// false misses). It returns matched (bPos, aPos) position pairs.
-func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace) [][2]int {
+// false misses). It returns matched (bPos, aPos) position pairs. A
+// non-nil scratch donates its match graph and pair buffer; the returned
+// slice then aliases the scratch and is only valid until the next scan
+// that uses it.
+func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace, s *Scratch) [][2]int {
 	var out [][2]int
-	g := matching.NewGraph()
+	var g *matching.Graph
+	if s != nil {
+		out = s.pairs[:0]
+		g = s.matchGraph()
+	} else {
+		g = matching.NewGraph()
+	}
 	flush := func() {
 		if g.Edges() == 0 {
 			return
@@ -185,5 +206,8 @@ func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace) [][2]int
 		}
 	}
 	flush()
+	if s != nil {
+		s.pairs = out // keep the grown capacity for the next scan
+	}
 	return out
 }

@@ -53,6 +53,7 @@ func New(logger *log.Logger) *Server {
 	s.mux.HandleFunc("POST /similarity", s.handleSimilarity)
 	s.mux.HandleFunc("POST /rank", s.handleRank)
 	s.mux.HandleFunc("POST /topk", s.handleTopK)
+	s.mux.HandleFunc("POST /matrix", s.handleMatrix)
 	s.mux.HandleFunc("POST /joins", s.handleCreateJoin)
 	s.mux.HandleFunc("GET /joins/{id}", s.handleGetJoin)
 	s.mux.HandleFunc("POST /joins/{id}/users", s.handleJoinAddUser)
@@ -175,6 +176,27 @@ type TopKEntry struct {
 	Exact     float64 `json:"exact_similarity"`
 	Refined   bool    `json:"refined"`
 	Skipped   bool    `json:"skipped,omitempty"`
+}
+
+// MatrixRequest asks for the full pairwise similarity matrix of a set
+// of stored communities. The batch engine encodes each community once
+// and fans the cells across Options.Workers goroutines (0 selects
+// GOMAXPROCS).
+type MatrixRequest struct {
+	Communities []int64        `json:"communities"`
+	Method      string         `json:"method"` // default "exminmax"
+	Options     OptionsPayload `json:"options"`
+}
+
+// MatrixCell is one unordered pair of a matrix response. I and J are
+// community IDs (not request indexes).
+type MatrixCell struct {
+	I          int64   `json:"i"`
+	J          int64   `json:"j"`
+	Similarity float64 `json:"similarity"`
+	Matched    int     `json:"matched"`
+	Skipped    bool    `json:"skipped,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
 }
 
 // JoinRequest creates an incremental join.
@@ -441,6 +463,60 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		if e.Result != nil {
 			out[i].Exact = e.Result.Similarity
 			out[i].Refined = true
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Communities) < 2 {
+		writeErr(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("matrix needs at least 2 communities, got %d", len(req.Communities)))
+		return
+	}
+	comms := make([]*csj.Community, len(req.Communities))
+	for i, id := range req.Communities {
+		c, err := s.lookup(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		comms[i] = c
+	}
+	if req.Method == "" {
+		req.Method = "exminmax"
+	}
+	method, err := csj.ParseMethod(req.Method)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entries, err := csj.SimilarityMatrix(comms, method, opts)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]MatrixCell, len(entries))
+	for i, e := range entries {
+		out[i] = MatrixCell{
+			I:       req.Communities[e.I],
+			J:       req.Communities[e.J],
+			Skipped: e.Skipped,
+		}
+		if e.Result != nil {
+			out[i].Similarity = e.Result.Similarity
+			out[i].Matched = len(e.Result.Pairs)
+			out[i].ElapsedMS = float64(e.Result.Elapsed.Microseconds()) / 1000
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -229,6 +229,78 @@ func TestTopKEndpoint(t *testing.T) {
 	}, http.StatusUnprocessableEntity, nil)
 }
 
+func TestMatrixEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	rng := rand.New(rand.NewSource(17))
+	baseUsers := randUsers(rng, 40, 4, 6)
+	base := uploadCommunity(t, ts, "base", baseUsers)
+	twin := uploadCommunity(t, ts, "twin", append([][]int32{}, baseUsers...))
+	other := uploadCommunity(t, ts, "other", randUsers(rng, 44, 4, 6))
+	tiny := uploadCommunity(t, ts, "tiny", randUsers(rng, 5, 4, 6))
+
+	var cells []MatrixCell
+	doJSON(t, "POST", ts.URL+"/matrix", MatrixRequest{
+		Communities: []int64{base, twin, other, tiny},
+		Options:     OptionsPayload{Epsilon: 0, Workers: 3},
+	}, http.StatusOK, &cells)
+	if len(cells) != 6 { // C(4,2) unordered pairs
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	byPair := map[[2]int64]MatrixCell{}
+	for _, c := range cells {
+		byPair[[2]int64{c.I, c.J}] = c
+	}
+	if c := byPair[[2]int64{base, twin}]; c.Similarity != 1.0 || c.Matched != 40 {
+		t.Errorf("base/twin cell = %+v, want similarity 1 with 40 matches", c)
+	}
+	// tiny violates the size precondition against every other community.
+	for _, c := range cells {
+		if (c.I == tiny || c.J == tiny) && !c.Skipped {
+			t.Errorf("cell %+v should be skipped (size precondition)", c)
+		}
+	}
+
+	// Error paths: too few communities, unknown ID, bad method.
+	doJSON(t, "POST", ts.URL+"/matrix", MatrixRequest{
+		Communities: []int64{base},
+	}, http.StatusUnprocessableEntity, nil)
+	doJSON(t, "POST", ts.URL+"/matrix", MatrixRequest{
+		Communities: []int64{base, 99999},
+	}, http.StatusNotFound, nil)
+	doJSON(t, "POST", ts.URL+"/matrix", MatrixRequest{
+		Communities: []int64{base, twin}, Method: "nonsense",
+	}, http.StatusBadRequest, nil)
+}
+
+// TestMatrixEndpointWorkerEquivalence checks the HTTP matrix answer is
+// identical for serial and parallel worker counts.
+func TestMatrixEndpointWorkerEquivalence(t *testing.T) {
+	ts := newTestServer(t)
+	rng := rand.New(rand.NewSource(23))
+	ids := make([]int64, 5)
+	for i := range ids {
+		ids[i] = uploadCommunity(t, ts, fmt.Sprintf("c%d", i), randUsers(rng, 30+i, 3, 8))
+	}
+	run := func(workers int) []MatrixCell {
+		var cells []MatrixCell
+		doJSON(t, "POST", ts.URL+"/matrix", MatrixRequest{
+			Communities: ids, Method: "ap-minmax",
+			Options: OptionsPayload{Epsilon: 1, Workers: workers},
+		}, http.StatusOK, &cells)
+		for i := range cells {
+			cells[i].ElapsedMS = 0 // timing differs run to run
+		}
+		return cells
+	}
+	serial := run(1)
+	for _, w := range []int{2, 7} {
+		got := run(w)
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", serial) {
+			t.Errorf("workers=%d matrix differs from serial:\n%+v\nvs\n%+v", w, got, serial)
+		}
+	}
+}
+
 func TestIncrementalJoinEndpoints(t *testing.T) {
 	ts := newTestServer(t)
 	var info JoinInfo

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/opencsj/csj/internal/core"
 	"github.com/opencsj/csj/internal/vector"
@@ -78,6 +79,13 @@ func LoadPreparedCommunity(path string) (*PreparedCommunity, error) {
 // opts.AllowSizeImbalance is set.
 func SimilarityPrepared(b, a *PreparedCommunity, method Method, opts *Options) (*Result, error) {
 	o := opts.orDefault()
+	return similarityPrepared(b, a, method, &o, nil)
+}
+
+// similarityPrepared is the scratch-aware prepared join behind
+// SimilarityPrepared and the batch engines. o must already be
+// defaulted; s may be nil for a one-shot run.
+func similarityPrepared(b, a *PreparedCommunity, method Method, o *Options, s *core.Scratch) (*Result, error) {
 	if method != ApMinMax && method != ExMinMax {
 		return nil, fmt.Errorf("%w: SimilarityPrepared supports Ap-MinMax and Ex-MinMax, got %v",
 			ErrUnknownMethod, method)
@@ -89,20 +97,23 @@ func SimilarityPrepared(b, a *PreparedCommunity, method Method, opts *Options) (
 	}
 	copts := core.Options{Eps: o.Epsilon, Parts: o.Parts,
 		Matcher: o.Matcher.matcher(), DisableSkipOffset: o.DisableSkipOffset}
-	run := core.ApMinMaxPrepared
+	run := core.ApMinMaxPreparedInto
 	if method == ExMinMax {
-		run = core.ExMinMaxPrepared
+		run = core.ExMinMaxPreparedInto
 	}
-	res, err := run(b.p, a.p, copts)
-	if err != nil {
+	start := time.Now()
+	res := &core.Result{}
+	if err := run(b.p, a.p, copts, s, res); err != nil {
 		return nil, err
 	}
+	elapsed := time.Since(start)
 	out := &Result{
-		Method: method,
-		Pairs:  make([]Pair, len(res.Pairs)),
-		SizeB:  b.Size(),
-		SizeA:  a.Size(),
-		Events: Events(res.Events),
+		Method:  method,
+		Pairs:   make([]Pair, len(res.Pairs)),
+		SizeB:   b.Size(),
+		SizeA:   a.Size(),
+		Events:  Events(res.Events),
+		Elapsed: elapsed,
 	}
 	for i, p := range res.Pairs {
 		out.Pairs[i] = Pair{B: int(p.B), A: int(p.A)}
@@ -132,37 +143,61 @@ type MatrixEntry struct {
 // violating ceil(|A|/2) <= |B| are skipped unless
 // opts.AllowSizeImbalance is set. Entries are returned in (I, J) order
 // with I < J.
+//
+// Preparation and the cells fan out across a bounded worker pool of
+// opts.Workers goroutines (0 selects GOMAXPROCS; 1 runs serially). Each
+// cell is an independent serial join, so the entries are identical to a
+// Workers=1 run for any worker count; the first join error cancels the
+// remaining cells.
 func SimilarityMatrix(comms []*Community, method Method, opts *Options) ([]MatrixEntry, error) {
 	if len(comms) < 2 {
 		return nil, errors.New("csj: SimilarityMatrix needs at least two communities")
 	}
+	o := opts.orDefault()
+	workers := batchWorkers(&o)
+
 	prepared := make([]*PreparedCommunity, len(comms))
-	for i, c := range comms {
-		p, err := Precompute(c, opts)
+	if err := runPool(workers, len(comms), func(_, i int) error {
+		p, err := Precompute(comms[i], opts)
 		if err != nil {
-			return nil, fmt.Errorf("csj: preparing community %d (%s): %w", i, c.Name, err)
+			return fmt.Errorf("csj: preparing community %d (%s): %w", i, comms[i].Name, err)
 		}
 		prepared[i] = p
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	var out []MatrixEntry
-	for i := 0; i < len(prepared); i++ {
-		for j := i + 1; j < len(prepared); j++ {
-			b, a := prepared[i], prepared[j]
-			entry := MatrixEntry{I: i, J: j}
-			if b.Size() > a.Size() {
-				b, a = a, b
-			}
-			res, err := SimilarityPrepared(b, a, method, opts)
-			switch {
-			case err == nil:
-				entry.Result = res
-			case errors.Is(err, ErrSizeConstraint):
-				entry.Skipped = true
-			default:
-				return nil, fmt.Errorf("csj: joining %s with %s: %w", b.Name(), a.Name(), err)
-			}
-			out = append(out, entry)
+
+	n := len(prepared)
+	cells := make([][2]int, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cells = append(cells, [2]int{i, j})
 		}
+	}
+	out := make([]MatrixEntry, len(cells))
+	scratches := newScratchPool(workers)
+	err := runPool(workers, len(cells), func(w, idx int) error {
+		i, j := cells[idx][0], cells[idx][1]
+		b, a := prepared[i], prepared[j]
+		entry := MatrixEntry{I: i, J: j}
+		if b.Size() > a.Size() {
+			b, a = a, b
+		}
+		res, err := similarityPrepared(b, a, method, &o, scratches.get(w))
+		switch {
+		case err == nil:
+			entry.Result = res
+		case errors.Is(err, ErrSizeConstraint):
+			entry.Skipped = true
+		default:
+			return fmt.Errorf("csj: joining %s with %s: %w", b.Name(), a.Name(), err)
+		}
+		out[idx] = entry
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

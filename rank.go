@@ -32,15 +32,26 @@ type Ranked struct {
 // community becomes B). Pairs that violate ceil(|A|/2) <= |B| are
 // skipped unless opts.AllowSizeImbalance is set; skipped and failed
 // candidates sort after scored ones.
+//
+// The per-candidate probes fan out across a bounded worker pool of
+// opts.Workers goroutines (0 selects GOMAXPROCS; 1 runs serially). The
+// parallel axis is the candidate fan-out: each probe joins serially, so
+// the ranking is identical to a Workers=1 run for any worker count.
 func Rank(pivot *Community, candidates []*Community, method Method, opts *Options) ([]Ranked, error) {
 	if pivot == nil || len(candidates) == 0 {
 		return nil, errors.New("csj: Rank needs a pivot and at least one candidate")
 	}
+	o := opts.orDefault()
+	workers := batchWorkers(&o)
+	// Keep each probe serial; the pool is the only parallel axis.
+	probeOpts := o
+	probeOpts.Workers = 1
 	out := make([]Ranked, len(candidates))
-	for i, cand := range candidates {
+	_ = runPool(workers, len(candidates), func(_, i int) error {
+		cand := candidates[i]
 		out[i] = Ranked{Index: i, Name: cand.Name}
 		b, a := Orient(pivot, cand)
-		res, err := Similarity(b, a, method, opts)
+		res, err := Similarity(b, a, method, &probeOpts)
 		switch {
 		case err == nil:
 			out[i].Result = res
@@ -49,7 +60,8 @@ func Rank(pivot *Community, candidates []*Community, method Method, opts *Option
 		default:
 			out[i].Err = err
 		}
-	}
+		return nil // per-candidate failures are recorded, not fatal
+	})
 	sort.SliceStable(out, func(x, y int) bool {
 		rx, ry := out[x].Result, out[y].Result
 		switch {

@@ -34,6 +34,12 @@ type TopKResult struct {
 // The refinement pool is 2k (or all candidates when fewer score), which
 // absorbs the approximate ranking's noise; candidates eliminated in
 // phase 1 carry only their approximate score.
+//
+// The pivot and every candidate are encoded once and reused by both
+// phases, and the phase-1 and phase-2 probes fan out across a bounded
+// worker pool of opts.Workers goroutines (0 selects GOMAXPROCS; 1 runs
+// serially). Each probe is an independent serial join, so the answer is
+// identical to a Workers=1 run for any worker count.
 func TopK(pivot *Community, candidates []*Community, k int, opts *Options) ([]TopKResult, error) {
 	if pivot == nil || len(candidates) == 0 {
 		return nil, errors.New("csj: TopK needs a pivot and at least one candidate")
@@ -41,21 +47,44 @@ func TopK(pivot *Community, candidates []*Community, k int, opts *Options) ([]To
 	if k <= 0 {
 		return nil, fmt.Errorf("csj: TopK needs k >= 1, got %d", k)
 	}
+	o := opts.orDefault()
+	workers := batchWorkers(&o)
 
-	// Phase 1: approximate prefilter.
+	pp, err := Precompute(pivot, opts)
+	if err != nil {
+		return nil, fmt.Errorf("csj: preparing pivot %s: %w", pivot.Name, err)
+	}
+	pcs := make([]*PreparedCommunity, len(candidates))
+	if err := runPool(workers, len(candidates), func(_, i int) error {
+		pc, err := Precompute(candidates[i], opts)
+		if err != nil {
+			return fmt.Errorf("csj: preparing candidate %s: %w", candidates[i].Name, err)
+		}
+		pcs[i] = pc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	scratches := newScratchPool(workers)
+
+	// Phase 1: approximate prefilter, one probe per candidate.
 	results := make([]TopKResult, len(candidates))
-	for i, cand := range candidates {
-		results[i] = TopKResult{Index: i, Name: cand.Name, Skipped: true}
-		b, a := Orient(pivot, cand)
-		res, err := Similarity(b, a, ApMinMax, opts)
+	err = runPool(workers, len(candidates), func(w, i int) error {
+		results[i] = TopKResult{Index: i, Name: candidates[i].Name, Skipped: true}
+		b, a := orientPrepared(pp, pcs[i])
+		res, err := similarityPrepared(b, a, ApMinMax, &o, scratches.get(w))
 		if err != nil {
 			if errors.Is(err, ErrSizeConstraint) {
-				continue
+				return nil
 			}
-			return nil, fmt.Errorf("csj: phase 1 on %s: %w", cand.Name, err)
+			return fmt.Errorf("csj: phase 1 on %s: %w", candidates[i].Name, err)
 		}
 		results[i].Skipped = false
 		results[i].ApproxSimilarity = res.Similarity
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(x, y int) bool {
 		if results[x].Skipped != results[y].Skipped {
@@ -66,19 +95,25 @@ func TopK(pivot *Community, candidates []*Community, k int, opts *Options) ([]To
 
 	// Phase 2: exact refinement of the survivors.
 	pool := 2 * k
-	refined := 0
+	refine := make([]int, 0, pool)
 	for i := range results {
-		if results[i].Skipped || refined >= pool {
+		if results[i].Skipped || len(refine) >= pool {
 			break
 		}
-		cand := candidates[results[i].Index]
-		b, a := Orient(pivot, cand)
-		res, err := Similarity(b, a, ExMinMax, opts)
+		refine = append(refine, i)
+	}
+	err = runPool(workers, len(refine), func(w, x int) error {
+		ri := refine[x]
+		b, a := orientPrepared(pp, pcs[results[ri].Index])
+		res, err := similarityPrepared(b, a, ExMinMax, &o, scratches.get(w))
 		if err != nil {
-			return nil, fmt.Errorf("csj: phase 2 on %s: %w", cand.Name, err)
+			return fmt.Errorf("csj: phase 2 on %s: %w", results[ri].Name, err)
 		}
-		results[i].Result = res
-		refined++
+		results[ri].Result = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(x, y int) bool {
 		rx, ry := results[x].Result, results[y].Result
