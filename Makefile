@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench faults
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# faults runs the fault-injection suite under the race detector:
+# injected panics, oversized bodies, shed load, exhausted compute
+# budgets, and mid-join client disconnects (DESIGN.md §8).
+faults:
+	$(GO) test -race -v -run '^TestFault' ./internal/server
 
 # bench runs the batch-engine benchmarks (serial vs parallel) with
 # allocation counts.

@@ -1,6 +1,7 @@
 package csj
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,18 +32,23 @@ func batchWorkers(o *Options) int {
 // written to idx-addressed slots, keeping output order deterministic)
 // and worker identifies the goroutine (0..workers-1, for per-worker
 // scratch). The first task error stops the pool: no new task starts,
-// in-flight tasks finish, and that error is returned.
-func runPool(workers, n int, task func(worker, idx int) error) error {
+// in-flight tasks finish, and that error is returned. A canceled ctx
+// likewise stops dispatch before the next task claim; the workers then
+// unwind and ctx.Err() is returned (task errors win when both race).
+func runPool(ctx context.Context, workers, n int, task func(worker, idx int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := task(0, i); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 	var (
 		next     atomic.Int64
@@ -51,11 +57,12 @@ func runPool(workers, n int, task func(worker, idx int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for !stopped.Load() {
+			for !stopped.Load() && !poolCanceled(done) {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -75,7 +82,24 @@ func runPool(workers, n int, task func(worker, idx int) error) error {
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// poolCanceled polls a Done channel without blocking; a nil channel
+// (context.Background and friends) is never canceled.
+func poolCanceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // scratchPool lazily hands each pool worker its own core.Scratch, so

@@ -1,6 +1,7 @@
 package csj
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -10,7 +11,7 @@ func TestRunPoolCoversEveryTaskOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		const n = 100
 		var hits [n]atomic.Int32
-		if err := runPool(workers, n, func(_, i int) error {
+		if err := runPool(context.Background(), workers, n, func(_, i int) error {
 			hits[i].Add(1)
 			return nil
 		}); err != nil {
@@ -27,7 +28,7 @@ func TestRunPoolCoversEveryTaskOnce(t *testing.T) {
 func TestRunPoolFirstErrorCancels(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int32
-	err := runPool(4, 1000, func(_, i int) error {
+	err := runPool(context.Background(), 4, 1000, func(_, i int) error {
 		ran.Add(1)
 		if i == 5 {
 			return boom
@@ -47,7 +48,7 @@ func TestRunPoolFirstErrorCancels(t *testing.T) {
 func TestRunPoolWorkerIDsStayInRange(t *testing.T) {
 	const workers = 5
 	var bad atomic.Int32
-	if err := runPool(workers, 200, func(w, _ int) error {
+	if err := runPool(context.Background(), workers, 200, func(w, _ int) error {
 		if w < 0 || w >= workers {
 			bad.Add(1)
 		}
@@ -61,11 +62,63 @@ func TestRunPoolWorkerIDsStayInRange(t *testing.T) {
 }
 
 func TestRunPoolZeroTasks(t *testing.T) {
-	if err := runPool(3, 0, func(_, _ int) error {
+	if err := runPool(context.Background(), 3, 0, func(_, _ int) error {
 		t.Error("task ran with n=0")
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunPoolPreCanceledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := runPool(ctx, workers, 100, func(_, _ int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The parallel pool may admit at most one task per worker that
+		// raced the cancellation; the bulk must never be dispatched.
+		if got := ran.Load(); got > int32(workers) {
+			t.Errorf("workers=%d: %d tasks ran on a pre-canceled context", workers, got)
+		}
+	}
+}
+
+func TestRunPoolCancelMidRunStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := runPool(ctx, 4, 1000, func(_, i int) error {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("ran %d tasks despite mid-run cancellation", got)
+	}
+}
+
+func TestRunPoolTaskErrorWinsOverLateCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := runPool(ctx, 2, 10, func(_, i int) error {
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
 	}
 }
 

@@ -1,0 +1,123 @@
+package csj_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	csj "github.com/opencsj/csj"
+)
+
+// heavyComms builds a community set whose full pairwise matrix takes
+// long enough that a mid-run cancellation is observable: a small value
+// range keeps the encoded windows dense, so (with a generous epsilon)
+// the exact matcher sees large segments in every cell.
+func heavyComms(rng *rand.Rand, n, size int) []*csj.Community {
+	base := randComm(rng, "base", size, 8, 3)
+	comms := make([]*csj.Community, n)
+	for i := range comms {
+		comms[i] = overlapped(rng, fmt.Sprintf("heavy-%02d", i), size, base, 0.4)
+	}
+	return comms
+}
+
+// TestCtxAPIsHonorPreCanceledContext: every Ctx entry point must refuse
+// to start work on an already-canceled context and surface the
+// context's own error.
+func TestCtxAPIsHonorPreCanceledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	comms := heavyComms(rng, 4, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := map[string]func() error{
+		"SimilarityCtx": func() error {
+			_, err := csj.SimilarityCtx(ctx, comms[0], comms[1], csj.ExMinMax, nil)
+			return err
+		},
+		"RankCtx": func() error {
+			_, err := csj.RankCtx(ctx, comms[0], comms[1:], csj.ExMinMax, nil)
+			return err
+		},
+		"TopKCtx": func() error {
+			_, err := csj.TopKCtx(ctx, comms[0], comms[1:], 2, nil)
+			return err
+		},
+		"SimilarityMatrixCtx": func() error {
+			_, err := csj.SimilarityMatrixCtx(ctx, comms, csj.ExMinMax, nil)
+			return err
+		},
+	}
+	for name, call := range calls {
+		if err := call(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s on canceled ctx: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestSimilarityCtxDeadlineSurfacesAsDeadlineExceeded: an expired
+// compute budget must map to context.DeadlineExceeded (the HTTP layer
+// turns this into 503), not the internal sentinel.
+func TestSimilarityCtxDeadlineSurfacesAsDeadlineExceeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	b := randComm(rng, "B", 400, 8, 6)
+	a := randComm(rng, "A", 500, 8, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done() // the budget has certainly expired
+	if _, err := csj.SimilarityCtx(ctx, b, a, csj.ExMinMax, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSimilarityMatrixCtxCancelMidRun is the tentpole's end-to-end
+// proof at the library layer: canceling a large in-flight matrix must
+// return promptly — well before the full fan-out would finish — and
+// release every worker goroutine.
+func TestSimilarityMatrixCtxCancelMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	comms := heavyComms(rng, 12, 500)
+	opts := &csj.Options{Workers: 4, Epsilon: 2}
+
+	// Baseline: how long the uncanceled matrix takes.
+	start := time.Now()
+	if _, err := csj.SimilarityMatrixCtx(context.Background(), comms, csj.ExMinMax, opts); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+	if full < 20*time.Millisecond {
+		t.Skipf("matrix finished in %v; too fast to observe a mid-run cancel", full)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let a few cells get in flight, then pull the plug.
+		time.Sleep(full / 10)
+		cancel()
+	}()
+	start = time.Now()
+	res, err := csj.SimilarityMatrixCtx(ctx, comms, csj.ExMinMax, opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("canceled matrix returned a partial result (%d cells)", len(res))
+	}
+	if elapsed >= full {
+		t.Errorf("canceled run took %v, full run only %v — cancellation did not shorten the work", elapsed, full)
+	}
+	// The pool goroutines must drain; give the runtime a moment to
+	// reap them before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked by canceled matrix: %d before, %d after", before, after)
+	}
+}

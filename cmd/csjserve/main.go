@@ -22,13 +22,27 @@
 //	GET    /joins/{id}
 //	POST   /joins/{id}/users                {"side": "B", "vector": [...]}
 //	DELETE /joins/{id}/users/{side}/{uid}
+//
+// Operational limits (see DESIGN.md §8):
+//
+//	-max-inflight    concurrent heavy joins admitted before shedding 429
+//	-request-timeout per-request compute budget (exceeded → 503)
+//	-max-body-bytes  request body cap (exceeded → 413)
+//
+// The server drains gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests get -shutdown-grace to finish, and
+// any still running after that are canceled via their request context.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/opencsj/csj/internal/server"
@@ -36,8 +50,22 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		quiet = flag.Bool("q", false, "suppress request logging")
+		addr        = flag.String("addr", ":8080", "listen address")
+		quiet       = flag.Bool("q", false, "suppress request logging")
+		maxInFlight = flag.Int("max-inflight", 0,
+			"max concurrent heavy requests before shedding with 429 (0 = 2×GOMAXPROCS, negative disables)")
+		reqTimeout = flag.Duration("request-timeout", 0,
+			"compute budget per heavy request (0 = 30s default, negative disables)")
+		maxBody = flag.Int64("max-body-bytes", 0,
+			"request body size cap in bytes (0 = 32 MiB default, negative disables)")
+		readTimeout = flag.Duration("read-timeout", 30*time.Second,
+			"max duration for reading an entire request")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute,
+			"max duration for writing a response (must exceed -request-timeout)")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute,
+			"max keep-alive idle time before a connection is closed")
+		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second,
+			"how long to let in-flight requests drain on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -46,13 +74,48 @@ func main() {
 	if *quiet {
 		reqLogger = nil
 	}
+	handler := server.NewWithConfig(reqLogger, server.Config{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(reqLogger),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
-	logger.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// The listener failed before any shutdown was requested
+		// (e.g. the port is taken) — that is a startup error, not a drain.
 		logger.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		logger.Printf("shutdown requested, draining for up to %s", *shutdownGrace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			// Requests outlived the grace period; Close cancels their
+			// contexts so the cancellation-aware joins unwind promptly.
+			logger.Printf("graceful drain incomplete (%v), forcing close", err)
+			srv.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+		logger.Printf("bye")
 	}
 }

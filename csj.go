@@ -1,6 +1,8 @@
 package csj
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -227,6 +229,17 @@ type Result struct {
 // ceil(|A|/2) <= |B| <= |A| unless opts.AllowSizeImbalance is set (use
 // Orient to order a pair). opts may be nil for defaults (epsilon 0).
 func Similarity(b, a *Community, method Method, opts *Options) (*Result, error) {
+	return SimilarityCtx(context.Background(), b, a, method, opts)
+}
+
+// SimilarityCtx is Similarity with cooperative cancellation: when ctx
+// is canceled or its deadline passes, the MinMax scan loops stop at
+// their next checkpoint and ctx's error is returned. The checkpoints
+// are polled every few hundred outer-loop iterations, so cancellation
+// latency is a small fraction of one scan and the hot path stays
+// allocation-free. Methods other than Ap/Ex-MinMax check ctx only
+// between phases (their scans run to completion once started).
+func SimilarityCtx(ctx context.Context, b, a *Community, method Method, opts *Options) (*Result, error) {
 	o := opts.orDefault()
 	ib, ia := b.internal(), a.internal()
 	if err := ib.Validate(0); err != nil {
@@ -242,9 +255,9 @@ func Similarity(b, a *Community, method Method, opts *Options) (*Result, error) 
 	}
 
 	start := time.Now()
-	res, err := dispatch(ib, ia, method, &o)
+	res, err := dispatch(ctx, ib, ia, method, &o)
 	if err != nil {
-		return nil, err
+		return nil, mapCanceled(ctx, err)
 	}
 	elapsed := time.Since(start)
 
@@ -267,7 +280,22 @@ func Similarity(b, a *Community, method Method, opts *Options) (*Result, error) 
 	return out, nil
 }
 
-func dispatch(b, a *vector.Community, method Method, o *Options) (*core.Result, error) {
+// mapCanceled rewrites the scan loops' cancellation sentinel into the
+// context's own error, so callers can errors.Is against
+// context.Canceled or context.DeadlineExceeded.
+func mapCanceled(ctx context.Context, err error) error {
+	if errors.Is(err, core.ErrCanceled) {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+	}
+	return err
+}
+
+func dispatch(ctx context.Context, b, a *vector.Community, method Method, o *Options) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch method {
 	case ApBaseline, ExBaseline:
 		opts := baseline.Options{
@@ -288,6 +316,7 @@ func dispatch(b, a *vector.Community, method Method, o *Options) (*core.Result, 
 			Parts:             o.Parts,
 			Matcher:           o.Matcher.matcher(),
 			DisableSkipOffset: o.DisableSkipOffset,
+			Done:              ctx.Done(),
 		}
 		if method == ApMinMax {
 			return core.ApMinMax(b, a, opts)

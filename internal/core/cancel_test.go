@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// closedDone returns an already-closed cancellation channel: every
+// checkpoint that polls it sees a canceled scan.
+func closedDone() chan struct{} {
+	done := make(chan struct{})
+	close(done)
+	return done
+}
+
+// TestCancelPreClosedDoneStopsScans: with Done closed before the scan
+// starts, both algorithms return ErrCanceled from the very first
+// checkpoint instead of a result.
+func TestCancelPreClosedDoneStopsScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	b := randCommunity(rng, "B", 40, 4, 8)
+	a := randCommunity(rng, "A", 60, 4, 8)
+	opts := Options{Eps: 1, Done: closedDone()}
+	if _, err := ApMinMax(b, a, opts); !errors.Is(err, ErrCanceled) {
+		t.Errorf("ApMinMax with closed Done: err = %v, want ErrCanceled", err)
+	}
+	if _, err := ExMinMax(b, a, opts); !errors.Is(err, ErrCanceled) {
+		t.Errorf("ExMinMax with closed Done: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCancelPreClosedDoneStopsPreparedScans: the scratch-reusing
+// prepared path honors Done the same way, and the scratch stays usable
+// for the next (uncanceled) join afterwards.
+func TestCancelPreClosedDoneStopsPreparedScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	opts := Options{Eps: 1}
+	pb, err := Prepare(randCommunity(rng, "B", 40, 4, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Prepare(randCommunity(rng, "A", 60, 4, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch()
+	var res Result
+	canceledOpts := opts
+	canceledOpts.Done = closedDone()
+	if err := ApMinMaxPreparedInto(pb, pa, canceledOpts, s, &res); !errors.Is(err, ErrCanceled) {
+		t.Errorf("ApMinMaxPreparedInto: err = %v, want ErrCanceled", err)
+	}
+	if err := ExMinMaxPreparedInto(pb, pa, canceledOpts, s, &res); !errors.Is(err, ErrCanceled) {
+		t.Errorf("ExMinMaxPreparedInto: err = %v, want ErrCanceled", err)
+	}
+	// The canceled run must not poison the reused scratch.
+	if err := ApMinMaxPreparedInto(pb, pa, opts, s, &res); err != nil {
+		t.Fatalf("scratch join after canceled run: %v", err)
+	}
+	want, err := ApMinMaxPrepared(pb, pa, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != want.Events || len(res.Pairs) != len(want.Pairs) {
+		t.Errorf("post-cancel join diverged: events %+v vs %+v, %d vs %d pairs",
+			res.Events, want.Events, len(res.Pairs), len(want.Pairs))
+	}
+}
+
+// TestCancelPreClosedDoneStopsParallelScan covers the window-parallel
+// exact path: every worker must observe Done and the join must report
+// ErrCanceled, not a partial pair set.
+func TestCancelPreClosedDoneStopsParallelScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	b := randCommunity(rng, "B", 300, 4, 6)
+	a := randCommunity(rng, "A", 400, 4, 6)
+	opts := Options{Eps: 1, Done: closedDone()}
+	if _, err := ExMinMaxParallel(b, a, opts, 4); !errors.Is(err, ErrCanceled) {
+		t.Errorf("ExMinMaxParallel with closed Done: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCancelOpenDoneChangesNothing: an open (non-nil, never closed)
+// Done channel must not alter any result — the checkpoints are pure
+// observers.
+func TestCancelOpenDoneChangesNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	b := randCommunity(rng, "B", 50, 4, 8)
+	a := randCommunity(rng, "A", 70, 4, 8)
+	plain := Options{Eps: 1}
+	watched := Options{Eps: 1, Done: make(chan struct{})}
+	for name, run := range map[string]func(opts Options) (*Result, error){
+		"Ap": func(opts Options) (*Result, error) { return ApMinMax(b, a, opts) },
+		"Ex": func(opts Options) (*Result, error) { return ExMinMax(b, a, opts) },
+	} {
+		want, err := run(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run(watched)
+		if err != nil {
+			t.Fatalf("%s with open Done: %v", name, err)
+		}
+		if got.Events != want.Events || len(got.Pairs) != len(want.Pairs) {
+			t.Errorf("%s: open Done changed the result: %+v vs %+v", name, got.Events, want.Events)
+		}
+	}
+}
+
+// TestCancelCheckpointsAreAllocationFree guards the tentpole's perf
+// promise: threading a live Done channel through the prepared fast
+// path must keep the Ap join at zero allocations per run.
+func TestCancelCheckpointsAreAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	opts := Options{Eps: 1, Done: make(chan struct{})}
+	pb, err := Prepare(randCommunity(rng, "B", 200, 4, 8), Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Prepare(randCommunity(rng, "A", 300, 4, 8), Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch()
+	var res Result
+	// Warm the scratch so steady-state reuse is what gets measured.
+	if err := ApMinMaxPreparedInto(pb, pa, opts, s, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := ApMinMaxPreparedInto(pb, pa, opts, s, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Ap prepared join with Done set allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -23,6 +23,10 @@ type Options struct {
 	// DisableSkipOffset turns off the skip/offset fast-forwarding
 	// (ablation only; results are identical).
 	DisableSkipOffset bool
+	// Done, when non-nil, requests cooperative cancellation: the scan
+	// loops poll it periodically and return ErrCanceled once it closes
+	// (typically ctx.Done() threaded down from the public API).
+	Done <-chan struct{}
 }
 
 func (o *Options) parts(d int) int {
@@ -119,6 +123,7 @@ func encode(b, a *vector.Community, opts *Options) (*Input, *encoding.BBuffer, *
 		AMin:              make([]int64, len(ab.Entries)),
 		AMax:              make([]int64, len(ab.Entries)),
 		DisableSkipOffset: opts.DisableSkipOffset,
+		Done:              opts.Done,
 	}
 	for i := range bb.Entries {
 		in.BID[i] = bb.Entries[i].ID
@@ -154,7 +159,10 @@ func ApMinMax(b, a *vector.Community, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
-	pairs := apScan(in, &res.Events, opts.Trace, nil)
+	pairs, err := apScan(in, &res.Events, opts.Trace, nil)
+	if err != nil {
+		return nil, err
+	}
 	res.Pairs = translate(pairs, bb, ab)
 	return res, nil
 }
@@ -170,7 +178,10 @@ func ExMinMax(b, a *vector.Community, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
-	pairs := exScan(in, opts.matcher(), &res.Events, opts.Trace, nil)
+	pairs, err := exScan(in, opts.matcher(), &res.Events, opts.Trace, nil)
+	if err != nil {
+		return nil, err
+	}
 	res.Pairs = translate(pairs, bb, ab)
 	return res, nil
 }

@@ -59,6 +59,11 @@ func ExMinMaxParallel(b, a *vector.Community, opts Options, workers int) (*Resul
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Every shard bailed at its next checkpoint; report the cancellation
+	// instead of matching a partial graph.
+	if canceled(in.Done) {
+		return nil, ErrCanceled
+	}
 
 	res := &Result{}
 	// Merge the shard graphs in (bPos, aPos) edge order rather than
@@ -98,10 +103,15 @@ func ExMinMaxParallel(b, a *vector.Community, opts Options, workers int) (*Resul
 // scanWindowCollect runs the Ex-MinMax window scan for B positions
 // [lo, hi) against the full A buffer, collecting every match into g.
 // It applies MIN PRUNE and the per-chunk skip/offset fast-forwarding
-// but no segment flushing (the caller matches globally).
+// but no segment flushing (the caller matches globally). Like the
+// serial scans it polls in.Done at checkpoint strides; the caller
+// detects the cancellation after joining the shards.
 func scanWindowCollect(in *Input, lo, hi int, g *matching.Graph, ev *Events) {
 	offset := 0
 	for bi := lo; bi < hi; bi++ {
+		if (bi-lo)&(cancelCheckEvery-1) == 0 && canceled(in.Done) {
+			return
+		}
 		skip := true
 		id := in.BID[bi]
 	scanA:

@@ -1,6 +1,36 @@
 package core
 
-import "github.com/opencsj/csj/internal/matching"
+import (
+	"errors"
+
+	"github.com/opencsj/csj/internal/matching"
+)
+
+// ErrCanceled reports that a scan stopped at a cancellation checkpoint
+// before completing. The public API maps it back to the context error
+// that triggered it.
+var ErrCanceled = errors.New("core: scan canceled")
+
+// cancelCheckEvery is how many outer-loop (B-side) iterations pass
+// between cancellation checkpoints. A power of two keeps the check a
+// mask-and-branch; at this stride the non-blocking channel poll is
+// amortized to noise while still bounding post-cancel work to one
+// stride of window scans.
+const cancelCheckEvery = 256
+
+// canceled polls a Done channel without blocking or allocating. A nil
+// channel (no cancellation requested) is never canceled.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
 
 // Outcome classifies a candidate pair whose encoded window admitted it.
 type Outcome uint8
@@ -34,21 +64,27 @@ type Input struct {
 	// DisableSkipOffset turns off the skip/offset fast-forwarding (an
 	// ablation; results are unchanged, only work increases).
 	DisableSkipOffset bool
+	// Done, when non-nil, requests cooperative cancellation: the scan
+	// loops poll it every cancelCheckEvery outer iterations and return
+	// ErrCanceled once it is closed. A nil Done adds no work beyond one
+	// predictable branch per stride.
+	Done <-chan struct{}
 }
 
 // ScanAp runs the approximate MinMax pairing process on a prepared
 // Input. It is the algorithm behind ApMinMax, exposed for callers that
 // bring their own encoded view (figure replays, instrumentation,
 // incremental maintenance). It returns matched (bPos, aPos) position
-// pairs into the sorted buffers.
-func ScanAp(in *Input, ev *Events, tr *Trace) [][2]int {
+// pairs into the sorted buffers, or ErrCanceled if in.Done closed
+// before the scan completed.
+func ScanAp(in *Input, ev *Events, tr *Trace) ([][2]int, error) {
 	return apScan(in, ev, tr, nil)
 }
 
 // ScanEx runs the exact MinMax pairing process on a prepared Input,
 // resolving segments with the given matcher (nil selects CSF). See
-// ScanAp for intended uses.
-func ScanEx(in *Input, matcher matching.Matcher, ev *Events, tr *Trace) [][2]int {
+// ScanAp for intended uses and cancellation semantics.
+func ScanEx(in *Input, matcher matching.Matcher, ev *Events, tr *Trace) ([][2]int, error) {
 	if matcher == nil {
 		matcher = matching.CSF
 	}
@@ -63,7 +99,7 @@ func ScanEx(in *Input, matcher matching.Matcher, ev *Events, tr *Trace) [][2]int
 // non-nil scratch donates its used bitmap and pair buffer; the returned
 // slice then aliases the scratch and is only valid until the next scan
 // that uses it.
-func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) [][2]int {
+func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) ([][2]int, error) {
 	var pairs [][2]int
 	var used []bool
 	if s != nil {
@@ -74,6 +110,12 @@ func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) [][2]int {
 	}
 	offset := 0
 	for bi := range in.BID {
+		if bi&(cancelCheckEvery-1) == 0 && canceled(in.Done) {
+			if s != nil {
+				s.pairs = pairs
+			}
+			return nil, ErrCanceled
+		}
 		skip := true
 		id := in.BID[bi]
 	scanA:
@@ -124,7 +166,7 @@ func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) [][2]int {
 	if s != nil {
 		s.pairs = pairs // keep the grown capacity for the next scan
 	}
-	return pairs
+	return pairs, nil
 }
 
 // exScan runs the exact MinMax pairing process (Algorithm Ex-MinMax).
@@ -137,7 +179,7 @@ func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) [][2]int {
 // non-nil scratch donates its match graph and pair buffer; the returned
 // slice then aliases the scratch and is only valid until the next scan
 // that uses it.
-func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace, s *Scratch) [][2]int {
+func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace, s *Scratch) ([][2]int, error) {
 	var out [][2]int
 	var g *matching.Graph
 	if s != nil {
@@ -160,6 +202,12 @@ func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace, s *Scrat
 	offset := 0
 	var maxV int64
 	for bi := range in.BID {
+		if bi&(cancelCheckEvery-1) == 0 && canceled(in.Done) {
+			if s != nil {
+				s.pairs = out
+			}
+			return nil, ErrCanceled
+		}
 		skip := true
 		id := in.BID[bi]
 	scanA:
@@ -209,5 +257,5 @@ func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace, s *Scrat
 	if s != nil {
 		s.pairs = out // keep the grown capacity for the next scan
 	}
-	return out
+	return out, nil
 }

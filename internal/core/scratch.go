@@ -46,14 +46,15 @@ func (s *Scratch) matchGraph() *matching.Graph {
 // bindPrepared points the scratch's scan view at the cached flat
 // buffers of a prepared pair. No slice is copied or allocated: BID,
 // AMin, and AMax alias the arrays built once at Prepare time.
-func (s *Scratch) bindPrepared(b, a *Prepared, disableSkipOffset bool) *Input {
+func (s *Scratch) bindPrepared(b, a *Prepared, opts *Options) *Input {
 	s.cmp = encComparer{bb: b.bb, ab: a.ab, ub: b.comm.Users, ua: a.comm.Users, eps: b.eps}
 	s.in = Input{
 		BID:               b.bid,
 		AMin:              a.amin,
 		AMax:              a.amax,
 		Cmp:               &s.cmp,
-		DisableSkipOffset: disableSkipOffset,
+		DisableSkipOffset: opts.DisableSkipOffset,
+		Done:              opts.Done,
 	}
 	return &s.in
 }
@@ -69,9 +70,12 @@ func ApMinMaxPreparedInto(b, a *Prepared, opts Options, s *Scratch, res *Result)
 	if s == nil {
 		s = NewScratch()
 	}
-	in := s.bindPrepared(b, a, opts.DisableSkipOffset)
+	in := s.bindPrepared(b, a, &opts)
 	res.Events = Events{}
-	pairs := apScan(in, &res.Events, opts.Trace, s)
+	pairs, err := apScan(in, &res.Events, opts.Trace, s)
+	if err != nil {
+		return err
+	}
 	res.Pairs = translateInto(res.Pairs[:0], pairs, b.bb, a.ab)
 	return nil
 }
@@ -85,9 +89,12 @@ func ExMinMaxPreparedInto(b, a *Prepared, opts Options, s *Scratch, res *Result)
 	if s == nil {
 		s = NewScratch()
 	}
-	in := s.bindPrepared(b, a, opts.DisableSkipOffset)
+	in := s.bindPrepared(b, a, &opts)
 	res.Events = Events{}
-	pairs := exScan(in, opts.matcher(), &res.Events, opts.Trace, s)
+	pairs, err := exScan(in, opts.matcher(), &res.Events, opts.Trace, s)
+	if err != nil {
+		return err
+	}
 	res.Pairs = translateInto(res.Pairs[:0], pairs, b.bb, a.ab)
 	return nil
 }

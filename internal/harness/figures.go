@@ -128,7 +128,10 @@ func RenderFigure2(w io.Writer) error {
 	in := figure2Input()
 	var ev core.Events
 	tr := &core.Trace{}
-	pairs := core.ScanAp(in, &ev, tr)
+	pairs, err := core.ScanAp(in, &ev, tr)
+	if err != nil {
+		return err
+	}
 	return renderScanTrace(w, "Figure 2: the execution of Approximate MinMax", in, tr, pairs, ev)
 }
 
@@ -138,7 +141,10 @@ func RenderFigure3(w io.Writer) error {
 	in := figure3Input()
 	var ev core.Events
 	tr := &core.Trace{}
-	pairs := core.ScanEx(in, nil, &ev, tr)
+	pairs, err := core.ScanEx(in, nil, &ev, tr)
+	if err != nil {
+		return err
+	}
 	return renderScanTrace(w, "Figure 3: the execution of Exact MinMax", in, tr, pairs, ev)
 }
 

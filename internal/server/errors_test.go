@@ -1,0 +1,129 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestErrorStatusMapping pins the HTTP status for every error family
+// the handlers can produce: 404 unknown resources, 400 malformed
+// requests, 409 the CSJ size precondition, 422 semantically invalid
+// inputs.
+func TestErrorStatusMapping(t *testing.T) {
+	ts := newTestServer(t)
+	rng := rand.New(rand.NewSource(17))
+	small := uploadCommunity(t, ts, "small", randUsers(rng, 2, 4, 7))
+	big := uploadCommunity(t, ts, "big", randUsers(rng, 40, 4, 7))
+	var join struct {
+		ID int64 `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/joins", JoinRequest{Dim: 4, Epsilon: 1}, http.StatusCreated, &join)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"unknown community", "GET", "/communities/999", nil, http.StatusNotFound},
+		{"delete unknown community", "DELETE", "/communities/999", nil, http.StatusNotFound},
+		{"unknown join", "GET", "/joins/999", nil, http.StatusNotFound},
+		{"similarity unknown B", "POST", "/similarity",
+			SimilarityRequest{B: 999, A: big, Method: "exminmax"}, http.StatusNotFound},
+		{"similarity unknown A", "POST", "/similarity",
+			SimilarityRequest{B: small, A: 999, Method: "exminmax"}, http.StatusNotFound},
+		{"rank unknown candidate", "POST", "/rank",
+			RankRequest{Pivot: big, Candidates: []int64{999}, Method: "exminmax"}, http.StatusNotFound},
+		{"bad join method", "POST", "/similarity",
+			SimilarityRequest{B: big, A: big, Method: "bogus"}, http.StatusBadRequest},
+		{"bad matcher", "POST", "/similarity",
+			SimilarityRequest{B: big, A: big, Method: "exminmax",
+				Options: OptionsPayload{Matcher: "bogus"}}, http.StatusBadRequest},
+		{"bad join side", "POST", "/joins/1/users",
+			JoinUserRequest{Side: "C", Vector: []int32{1, 2, 3, 4}}, http.StatusBadRequest},
+		{"size precondition", "POST", "/similarity",
+			SimilarityRequest{B: small, A: big, Method: "exminmax"}, http.StatusConflict},
+		{"matrix with one community", "POST", "/matrix",
+			MatrixRequest{Communities: []int64{big}}, http.StatusUnprocessableEntity},
+		{"join user wrong dimension", "POST", "/joins/1/users",
+			JoinUserRequest{Side: "B", Vector: []int32{1, 2}}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doJSON(t, tc.method, ts.URL+tc.path, tc.body, tc.want, nil)
+		})
+	}
+}
+
+// TestErrorMalformedJSONIs400 covers the decode path shared by every
+// POST endpoint.
+func TestErrorMalformedJSONIs400(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/communities", "application/json",
+		strings.NewReader(`{"name": "x", "users": [[1,`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestErrorMismatchedDimensionsIs422: a community whose users disagree
+// on dimensionality must be rejected with a clear message (satellite of
+// the robustness PR — previously this surfaced as a bare validation
+// string).
+func TestErrorMismatchedDimensionsIs422(t *testing.T) {
+	ts := newTestServer(t)
+	req := CommunityPayload{Name: "ragged", Users: [][]int32{{1, 2, 3}, {4, 5}}}
+	var body map[string]string
+	doJSON(t, "POST", ts.URL+"/communities", req, http.StatusUnprocessableEntity, &body)
+	msg := body["error"]
+	if !strings.Contains(msg, "invalid community") || !strings.Contains(msg, "dimension mismatch") {
+		t.Errorf("422 body = %q, want invalid community + dimension mismatch", msg)
+	}
+}
+
+// TestCreateCommunityDefaultCategory: an absent category field stores
+// the "unknown" sentinel, and an explicit category is preserved.
+func TestCreateCommunityDefaultCategory(t *testing.T) {
+	ts := newTestServer(t)
+	rng := rand.New(rand.NewSource(19))
+	var info CommunityInfo
+	doJSON(t, "POST", ts.URL+"/communities",
+		CommunityPayload{Name: "uncategorized", Users: randUsers(rng, 3, 3, 7)},
+		http.StatusCreated, &info)
+	if info.Category != -1 {
+		t.Errorf("absent category stored as %d, want -1", info.Category)
+	}
+	doJSON(t, "POST", ts.URL+"/communities",
+		CommunityPayload{Name: "categorized", Category: 5, Users: randUsers(rng, 3, 3, 7)},
+		http.StatusCreated, &info)
+	if info.Category != 5 {
+		t.Errorf("explicit category stored as %d, want 5", info.Category)
+	}
+}
+
+// TestListCommunitiesSortedByID: deterministic ascending order
+// regardless of map iteration.
+func TestListCommunitiesSortedByID(t *testing.T) {
+	ts := newTestServer(t)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 8; i++ {
+		uploadCommunity(t, ts, "c", randUsers(rng, 2, 3, 7))
+	}
+	var out []CommunityInfo
+	doJSON(t, "GET", ts.URL+"/communities", nil, http.StatusOK, &out)
+	if len(out) != 8 {
+		t.Fatalf("listed %d communities, want 8", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].ID >= out[i].ID {
+			t.Fatalf("list not ascending at %d: %d then %d", i, out[i-1].ID, out[i].ID)
+		}
+	}
+}

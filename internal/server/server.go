@@ -6,22 +6,25 @@
 package server
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 
 	csj "github.com/opencsj/csj"
 )
 
-// Server is the HTTP handler. Create one with New; it is safe for
-// concurrent use.
+// Server is the HTTP handler. Create one with New or NewWithConfig; it
+// is safe for concurrent use.
 type Server struct {
 	mux *http.ServeMux
 	log *log.Logger
+	cfg Config
+	// inflight is the admission semaphore of the heavy join endpoints;
+	// nil when admission control is disabled.
+	inflight chan struct{}
 
 	mu          sync.RWMutex
 	communities map[int64]*csj.Community
@@ -37,23 +40,36 @@ type joinState struct {
 	eps  int32
 }
 
-// New builds a server. logger may be nil to disable request logging.
+// New builds a server with the default Config. logger may be nil to
+// disable request logging.
 func New(logger *log.Logger) *Server {
+	return NewWithConfig(logger, Config{})
+}
+
+// NewWithConfig builds a server with explicit protective limits (see
+// Config for the zero/negative conventions).
+func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 	s := &Server{
 		mux:         http.NewServeMux(),
 		log:         logger,
+		cfg:         cfg.withDefaults(),
 		communities: make(map[int64]*csj.Community),
 		joins:       make(map[int64]*joinState),
+	}
+	if s.cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, s.cfg.MaxInFlight)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /communities", s.handleCreateCommunity)
 	s.mux.HandleFunc("GET /communities", s.handleListCommunities)
 	s.mux.HandleFunc("GET /communities/{id}", s.handleGetCommunity)
 	s.mux.HandleFunc("DELETE /communities/{id}", s.handleDeleteCommunity)
-	s.mux.HandleFunc("POST /similarity", s.handleSimilarity)
-	s.mux.HandleFunc("POST /rank", s.handleRank)
-	s.mux.HandleFunc("POST /topk", s.handleTopK)
-	s.mux.HandleFunc("POST /matrix", s.handleMatrix)
+	// The four join endpoints run O(n²)-ish scans; they pass through
+	// admission control and get a compute deadline.
+	s.mux.HandleFunc("POST /similarity", s.heavy(s.handleSimilarity))
+	s.mux.HandleFunc("POST /rank", s.heavy(s.handleRank))
+	s.mux.HandleFunc("POST /topk", s.heavy(s.handleTopK))
+	s.mux.HandleFunc("POST /matrix", s.heavy(s.handleMatrix))
 	s.mux.HandleFunc("POST /joins", s.handleCreateJoin)
 	s.mux.HandleFunc("GET /joins/{id}", s.handleGetJoin)
 	s.mux.HandleFunc("POST /joins/{id}/users", s.handleJoinAddUser)
@@ -61,8 +77,14 @@ func New(logger *log.Logger) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: panic recovery and the body-size
+// cap wrap every route, so one faulting request can neither kill the
+// process nor buffer an unbounded upload.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer s.recoverPanic(w, r)
+	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
 	if s.log != nil {
 		s.log.Printf("%s %s", r.Method, r.URL.Path)
 	}
@@ -235,21 +257,23 @@ type JoinUserResponse struct {
 // ---- handlers ----
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleCreateCommunity(w http.ResponseWriter, r *http.Request) {
 	var p CommunityPayload
-	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding community: %w", err))
+	if !s.decode(w, r, &p) {
 		return
 	}
 	c := &csj.Community{Name: p.Name, Category: p.Category, Users: p.Users}
-	if c.Category == 0 && p.Category == 0 {
+	if c.Category == 0 {
+		// An absent category field decodes as 0; store "unknown".
 		c.Category = -1
 	}
+	// Validate rejects empty communities, ragged dimensionalities, and
+	// negative counters, each with a message naming the offending user.
 	if err := c.Validate(); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("invalid community: %w", err))
 		return
 	}
 	s.mu.Lock()
@@ -257,7 +281,7 @@ func (s *Server) handleCreateCommunity(w http.ResponseWriter, r *http.Request) {
 	id := s.nextComm
 	s.communities[id] = c
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, s.info(id, c))
+	s.writeJSON(w, http.StatusCreated, s.info(id, c))
 }
 
 func (s *Server) info(id int64, c *csj.Community) CommunityInfo {
@@ -272,12 +296,8 @@ func (s *Server) handleListCommunities(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.RUnlock()
 	// Deterministic order for clients.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) community(r *http.Request) (int64, *csj.Community, error) {
@@ -297,16 +317,16 @@ func (s *Server) community(r *http.Request) (int64, *csj.Community, error) {
 func (s *Server) handleGetCommunity(w http.ResponseWriter, r *http.Request) {
 	id, c, err := s.community(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.info(id, c))
+	s.writeJSON(w, http.StatusOK, s.info(id, c))
 }
 
 func (s *Server) handleDeleteCommunity(w http.ResponseWriter, r *http.Request) {
 	id, _, err := s.community(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	s.mu.Lock()
@@ -327,40 +347,35 @@ func (s *Server) lookup(id int64) (*csj.Community, error) {
 
 func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	var req SimilarityRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	b, err := s.lookup(req.B)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	a, err := s.lookup(req.A)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	method, err := csj.ParseMethod(req.Method)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Orient {
 		b, a = csj.Orient(b, a)
 	}
-	res, err := csj.Similarity(b, a, method, opts)
+	res, err := csj.SimilarityCtx(r.Context(), b, a, method, opts)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, csj.ErrSizeConstraint) {
-			status = http.StatusConflict
-		}
-		writeErr(w, status, err)
+		s.writeJoinErr(w, r, err)
 		return
 	}
 	resp := SimilarityResponse{
@@ -375,40 +390,39 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	if req.IncludePairs {
 		resp.Pairs = res.Pairs
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	var req RankRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	pivot, err := s.lookup(req.Pivot)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	cands := make([]*csj.Community, len(req.Candidates))
 	for i, id := range req.Candidates {
 		if cands[i], err = s.lookup(id); err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
 	}
 	method, err := csj.ParseMethod(req.Method)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ranked, err := csj.Rank(pivot, cands, method, opts)
+	ranked, err := csj.RankCtx(r.Context(), pivot, cands, method, opts)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeJoinErr(w, r, err)
 		return
 	}
 	out := make([]RankEntry, len(ranked))
@@ -421,35 +435,34 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			out[i].Error = e.Err.Error()
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req TopKRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	pivot, err := s.lookup(req.Pivot)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	cands := make([]*csj.Community, len(req.Candidates))
 	for i, id := range req.Candidates {
 		if cands[i], err = s.lookup(id); err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	top, err := csj.TopK(pivot, cands, req.K, opts)
+	top, err := csj.TopKCtx(r.Context(), pivot, cands, req.K, opts)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeJoinErr(w, r, err)
 		return
 	}
 	out := make([]TopKEntry, len(top))
@@ -465,17 +478,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			out[i].Refined = true
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	var req MatrixRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Communities) < 2 {
-		writeErr(w, http.StatusUnprocessableEntity,
+		s.writeErr(w, http.StatusUnprocessableEntity,
 			fmt.Errorf("matrix needs at least 2 communities, got %d", len(req.Communities)))
 		return
 	}
@@ -483,7 +495,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	for i, id := range req.Communities {
 		c, err := s.lookup(id)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
 		comms[i] = c
@@ -493,17 +505,17 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	method, err := csj.ParseMethod(req.Method)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	entries, err := csj.SimilarityMatrix(comms, method, opts)
+	entries, err := csj.SimilarityMatrixCtx(r.Context(), comms, method, opts)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeJoinErr(w, r, err)
 		return
 	}
 	out := make([]MatrixCell, len(entries))
@@ -519,18 +531,17 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 			out[i].ElapsedMS = float64(e.Result.Elapsed.Microseconds()) / 1000
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleCreateJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	j, err := csj.NewIncrementalJoin(req.Dim, &csj.Options{Epsilon: req.Epsilon, Parts: req.Parts})
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	s.mu.Lock()
@@ -539,7 +550,7 @@ func (s *Server) handleCreateJoin(w http.ResponseWriter, r *http.Request) {
 	st := &joinState{join: j, dim: req.Dim, eps: req.Epsilon}
 	s.joins[id] = st
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, joinInfo(id, st))
+	s.writeJSON(w, http.StatusCreated, joinInfo(id, st))
 }
 
 func (s *Server) joinState(r *http.Request) (int64, *joinState, error) {
@@ -573,24 +584,23 @@ func joinInfo(id int64, st *joinState) JoinInfo {
 func (s *Server) handleGetJoin(w http.ResponseWriter, r *http.Request) {
 	id, st, err := s.joinState(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	st.mu.Lock()
 	info := joinInfo(id, st)
 	st.mu.Unlock()
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleJoinAddUser(w http.ResponseWriter, r *http.Request) {
 	id, st, err := s.joinState(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	var req JoinUserRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	st.mu.Lock()
@@ -602,25 +612,25 @@ func (s *Server) handleJoinAddUser(w http.ResponseWriter, r *http.Request) {
 	case "A", "a":
 		uid, err = st.join.AddA(req.Vector)
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("side must be B or A, got %q", req.Side))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("side must be B or A, got %q", req.Side))
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, JoinUserResponse{UserID: uid, State: joinInfo(id, st)})
+	s.writeJSON(w, http.StatusCreated, JoinUserResponse{UserID: uid, State: joinInfo(id, st)})
 }
 
 func (s *Server) handleJoinRemoveUser(w http.ResponseWriter, r *http.Request) {
 	id, st, err := s.joinState(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	uid, err := strconv.Atoi(r.PathValue("uid"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad user id: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad user id: %w", err))
 		return
 	}
 	st.mu.Lock()
@@ -631,24 +641,12 @@ func (s *Server) handleJoinRemoveUser(w http.ResponseWriter, r *http.Request) {
 	case "A", "a":
 		err = st.join.RemoveA(uid)
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("side must be B or A"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("side must be B or A"))
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, joinInfo(id, st))
-}
-
-// ---- helpers ----
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	s.writeJSON(w, http.StatusOK, joinInfo(id, st))
 }

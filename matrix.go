@@ -1,6 +1,7 @@
 package csj
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -78,14 +79,20 @@ func LoadPreparedCommunity(path string) (*PreparedCommunity, error) {
 // encodings). b must be the smaller community unless
 // opts.AllowSizeImbalance is set.
 func SimilarityPrepared(b, a *PreparedCommunity, method Method, opts *Options) (*Result, error) {
+	return SimilarityPreparedCtx(context.Background(), b, a, method, opts)
+}
+
+// SimilarityPreparedCtx is SimilarityPrepared with cooperative
+// cancellation (see SimilarityCtx for the semantics).
+func SimilarityPreparedCtx(ctx context.Context, b, a *PreparedCommunity, method Method, opts *Options) (*Result, error) {
 	o := opts.orDefault()
-	return similarityPrepared(b, a, method, &o, nil)
+	return similarityPrepared(ctx, b, a, method, &o, nil)
 }
 
 // similarityPrepared is the scratch-aware prepared join behind
 // SimilarityPrepared and the batch engines. o must already be
 // defaulted; s may be nil for a one-shot run.
-func similarityPrepared(b, a *PreparedCommunity, method Method, o *Options, s *core.Scratch) (*Result, error) {
+func similarityPrepared(ctx context.Context, b, a *PreparedCommunity, method Method, o *Options, s *core.Scratch) (*Result, error) {
 	if method != ApMinMax && method != ExMinMax {
 		return nil, fmt.Errorf("%w: SimilarityPrepared supports Ap-MinMax and Ex-MinMax, got %v",
 			ErrUnknownMethod, method)
@@ -96,7 +103,8 @@ func similarityPrepared(b, a *PreparedCommunity, method Method, o *Options, s *c
 		}
 	}
 	copts := core.Options{Eps: o.Epsilon, Parts: o.Parts,
-		Matcher: o.Matcher.matcher(), DisableSkipOffset: o.DisableSkipOffset}
+		Matcher: o.Matcher.matcher(), DisableSkipOffset: o.DisableSkipOffset,
+		Done: ctx.Done()}
 	run := core.ApMinMaxPreparedInto
 	if method == ExMinMax {
 		run = core.ExMinMaxPreparedInto
@@ -104,7 +112,7 @@ func similarityPrepared(b, a *PreparedCommunity, method Method, o *Options, s *c
 	start := time.Now()
 	res := &core.Result{}
 	if err := run(b.p, a.p, copts, s, res); err != nil {
-		return nil, err
+		return nil, mapCanceled(ctx, err)
 	}
 	elapsed := time.Since(start)
 	out := &Result{
@@ -150,6 +158,15 @@ type MatrixEntry struct {
 // Workers=1 run for any worker count; the first join error cancels the
 // remaining cells.
 func SimilarityMatrix(comms []*Community, method Method, opts *Options) ([]MatrixEntry, error) {
+	return SimilarityMatrixCtx(context.Background(), comms, method, opts)
+}
+
+// SimilarityMatrixCtx is SimilarityMatrix with cooperative
+// cancellation: a canceled ctx stops the pool from dispatching further
+// cells, interrupts in-flight scans at their next checkpoint, and
+// returns ctx's error once the workers have unwound. No partial matrix
+// is returned.
+func SimilarityMatrixCtx(ctx context.Context, comms []*Community, method Method, opts *Options) ([]MatrixEntry, error) {
 	if len(comms) < 2 {
 		return nil, errors.New("csj: SimilarityMatrix needs at least two communities")
 	}
@@ -157,7 +174,7 @@ func SimilarityMatrix(comms []*Community, method Method, opts *Options) ([]Matri
 	workers := batchWorkers(&o)
 
 	prepared := make([]*PreparedCommunity, len(comms))
-	if err := runPool(workers, len(comms), func(_, i int) error {
+	if err := runPool(ctx, workers, len(comms), func(_, i int) error {
 		p, err := Precompute(comms[i], opts)
 		if err != nil {
 			return fmt.Errorf("csj: preparing community %d (%s): %w", i, comms[i].Name, err)
@@ -177,14 +194,14 @@ func SimilarityMatrix(comms []*Community, method Method, opts *Options) ([]Matri
 	}
 	out := make([]MatrixEntry, len(cells))
 	scratches := newScratchPool(workers)
-	err := runPool(workers, len(cells), func(w, idx int) error {
+	err := runPool(ctx, workers, len(cells), func(w, idx int) error {
 		i, j := cells[idx][0], cells[idx][1]
 		b, a := prepared[i], prepared[j]
 		entry := MatrixEntry{I: i, J: j}
 		if b.Size() > a.Size() {
 			b, a = a, b
 		}
-		res, err := similarityPrepared(b, a, method, &o, scratches.get(w))
+		res, err := similarityPrepared(ctx, b, a, method, &o, scratches.get(w))
 		switch {
 		case err == nil:
 			entry.Result = res

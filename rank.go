@@ -1,6 +1,7 @@
 package csj
 
 import (
+	"context"
 	"errors"
 	"sort"
 )
@@ -38,6 +39,15 @@ type Ranked struct {
 // parallel axis is the candidate fan-out: each probe joins serially, so
 // the ranking is identical to a Workers=1 run for any worker count.
 func Rank(pivot *Community, candidates []*Community, method Method, opts *Options) ([]Ranked, error) {
+	return RankCtx(context.Background(), pivot, candidates, method, opts)
+}
+
+// RankCtx is Rank with cooperative cancellation. Per-candidate
+// failures are still recorded in the entries rather than aborting the
+// ranking, but a canceled ctx is fatal: undispatched probes are
+// abandoned, in-flight MinMax scans stop at their next checkpoint, and
+// ctx's error is returned with no partial ranking.
+func RankCtx(ctx context.Context, pivot *Community, candidates []*Community, method Method, opts *Options) ([]Ranked, error) {
 	if pivot == nil || len(candidates) == 0 {
 		return nil, errors.New("csj: Rank needs a pivot and at least one candidate")
 	}
@@ -47,21 +57,26 @@ func Rank(pivot *Community, candidates []*Community, method Method, opts *Option
 	probeOpts := o
 	probeOpts.Workers = 1
 	out := make([]Ranked, len(candidates))
-	_ = runPool(workers, len(candidates), func(_, i int) error {
+	err := runPool(ctx, workers, len(candidates), func(_, i int) error {
 		cand := candidates[i]
 		out[i] = Ranked{Index: i, Name: cand.Name}
 		b, a := Orient(pivot, cand)
-		res, err := Similarity(b, a, method, &probeOpts)
+		res, err := SimilarityCtx(ctx, b, a, method, &probeOpts)
 		switch {
 		case err == nil:
 			out[i].Result = res
 		case errors.Is(err, ErrSizeConstraint):
 			out[i].Skipped = true
+		case ctx.Err() != nil:
+			return ctx.Err() // cancellation is fatal, not a candidate failure
 		default:
 			out[i].Err = err
 		}
 		return nil // per-candidate failures are recorded, not fatal
 	})
+	if err != nil {
+		return nil, err
+	}
 	sort.SliceStable(out, func(x, y int) bool {
 		rx, ry := out[x].Result, out[y].Result
 		switch {

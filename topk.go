@@ -1,6 +1,7 @@
 package csj
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -41,6 +42,13 @@ type TopKResult struct {
 // serially). Each probe is an independent serial join, so the answer is
 // identical to a Workers=1 run for any worker count.
 func TopK(pivot *Community, candidates []*Community, k int, opts *Options) ([]TopKResult, error) {
+	return TopKCtx(context.Background(), pivot, candidates, k, opts)
+}
+
+// TopKCtx is TopK with cooperative cancellation: a canceled ctx stops
+// both phases' probe pools, interrupts in-flight scans at their next
+// checkpoint, and returns ctx's error. No partial answer is returned.
+func TopKCtx(ctx context.Context, pivot *Community, candidates []*Community, k int, opts *Options) ([]TopKResult, error) {
 	if pivot == nil || len(candidates) == 0 {
 		return nil, errors.New("csj: TopK needs a pivot and at least one candidate")
 	}
@@ -55,7 +63,7 @@ func TopK(pivot *Community, candidates []*Community, k int, opts *Options) ([]To
 		return nil, fmt.Errorf("csj: preparing pivot %s: %w", pivot.Name, err)
 	}
 	pcs := make([]*PreparedCommunity, len(candidates))
-	if err := runPool(workers, len(candidates), func(_, i int) error {
+	if err := runPool(ctx, workers, len(candidates), func(_, i int) error {
 		pc, err := Precompute(candidates[i], opts)
 		if err != nil {
 			return fmt.Errorf("csj: preparing candidate %s: %w", candidates[i].Name, err)
@@ -69,10 +77,10 @@ func TopK(pivot *Community, candidates []*Community, k int, opts *Options) ([]To
 
 	// Phase 1: approximate prefilter, one probe per candidate.
 	results := make([]TopKResult, len(candidates))
-	err = runPool(workers, len(candidates), func(w, i int) error {
+	err = runPool(ctx, workers, len(candidates), func(w, i int) error {
 		results[i] = TopKResult{Index: i, Name: candidates[i].Name, Skipped: true}
 		b, a := orientPrepared(pp, pcs[i])
-		res, err := similarityPrepared(b, a, ApMinMax, &o, scratches.get(w))
+		res, err := similarityPrepared(ctx, b, a, ApMinMax, &o, scratches.get(w))
 		if err != nil {
 			if errors.Is(err, ErrSizeConstraint) {
 				return nil
@@ -102,10 +110,10 @@ func TopK(pivot *Community, candidates []*Community, k int, opts *Options) ([]To
 		}
 		refine = append(refine, i)
 	}
-	err = runPool(workers, len(refine), func(w, x int) error {
+	err = runPool(ctx, workers, len(refine), func(w, x int) error {
 		ri := refine[x]
 		b, a := orientPrepared(pp, pcs[results[ri].Index])
-		res, err := similarityPrepared(b, a, ExMinMax, &o, scratches.get(w))
+		res, err := similarityPrepared(ctx, b, a, ExMinMax, &o, scratches.get(w))
 		if err != nil {
 			return fmt.Errorf("csj: phase 2 on %s: %w", results[ri].Name, err)
 		}
