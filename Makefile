@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench faults
+.PHONY: check vet build test race bench faults metricsguard
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -28,3 +28,10 @@ faults:
 # allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimilarityMatrix|BenchmarkTopK' -benchmem .
+
+# metricsguard is the metrics-overhead gate (DESIGN.md §9): the
+# prepared Ap fast path must stay 0 allocs/op with scan-event counters
+# attached. Runs without -race — race instrumentation inflates
+# allocation counts, which is why the test is !race-gated.
+metricsguard:
+	$(GO) test -count=1 -v -run '^TestInstrumentedPreparedApZeroAllocs$$' ./internal/metrics

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/opencsj/csj/internal/core"
 )
@@ -86,6 +87,74 @@ func runPool(ctx context.Context, workers, n int, task func(worker, idx int) err
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// WorkerStat is one pool worker's share of a batch-engine stage.
+type WorkerStat struct {
+	// Tasks is how many tasks the worker completed.
+	Tasks int
+	// Busy is the wall-clock time the worker spent inside tasks (its
+	// idle tail — waiting for the slowest sibling — is Wall minus Busy).
+	Busy time.Duration
+}
+
+// PoolStats reports per-worker utilization of one worker-pool stage of
+// a batch engine (observability: skew across workers is the signal
+// that drives repartitioning in distributed similarity-join designs).
+type PoolStats struct {
+	// Stage names the pool run, e.g. "matrix/cells" or "topk/phase1".
+	Stage string
+	// Wall is the stage's total wall-clock duration.
+	Wall time.Duration
+	// Workers holds one entry per pool worker, indexed by worker ID.
+	Workers []WorkerStat
+}
+
+// Utilization returns the fraction of the stage's worker-seconds spent
+// busy: sum(Busy) / (Wall * len(Workers)). 1.0 means perfectly
+// balanced work with no idle tails; low values mean skew or a fan-out
+// smaller than the pool.
+func (ps *PoolStats) Utilization() float64 {
+	if ps.Wall <= 0 || len(ps.Workers) == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, w := range ps.Workers {
+		busy += w.Busy
+	}
+	return float64(busy) / (float64(ps.Wall) * float64(len(ps.Workers)))
+}
+
+// runPoolStats is runPool with per-worker utilization accounting: each
+// task's wall time is charged to its worker, and the per-stage stats
+// are delivered to report after the pool returns (even on error, so
+// partial stages still show up). A nil report falls through to the
+// uninstrumented pool — the hot path pays nothing when no observer is
+// installed.
+func runPoolStats(ctx context.Context, workers, n int, stage string, report func(PoolStats), task func(worker, idx int) error) error {
+	if report == nil {
+		return runPool(ctx, workers, n, task)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats := PoolStats{Stage: stage, Workers: make([]WorkerStat, workers)}
+	start := time.Now()
+	err := runPool(ctx, workers, n, func(worker, idx int) error {
+		t0 := time.Now()
+		terr := task(worker, idx)
+		// Workers own their slot exclusively, so no synchronization is
+		// needed beyond the pool's own WaitGroup.
+		stats.Workers[worker].Tasks++
+		stats.Workers[worker].Busy += time.Since(t0)
+		return terr
+	})
+	stats.Wall = time.Since(start)
+	report(stats)
+	return err
 }
 
 // poolCanceled polls a Done channel without blocking; a nil channel

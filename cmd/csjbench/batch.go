@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 
 	csj "github.com/opencsj/csj"
@@ -21,6 +22,23 @@ type batchConfig struct {
 	Workers     int
 	K           int
 	Seed        int64
+	Metrics     bool
+}
+
+// workerStat is one worker's share of a pool stage.
+type workerStat struct {
+	Tasks  int   `json:"tasks"`
+	BusyNs int64 `json:"busy_ns"`
+}
+
+// poolStageReport is one batch-engine pool stage: wall clock,
+// utilization (busy worker-time over wall × pool size), and the
+// per-worker breakdown that exposes skew.
+type poolStageReport struct {
+	Stage       string       `json:"stage"`
+	WallNs      int64        `json:"wall_ns"`
+	Utilization float64      `json:"utilization"`
+	Workers     []workerStat `json:"workers"`
 }
 
 // batchReport is the JSON emitted by -batch: wall-clock and allocation
@@ -48,6 +66,11 @@ type batchReport struct {
 	// The same joins through the one-shot prepared API, for comparison.
 	ApPreparedFreshAllocsOp float64 `json:"ap_prepared_fresh_allocs_op"`
 	ExPreparedFreshAllocsOp float64 `json:"ex_prepared_fresh_allocs_op"`
+
+	// With -metrics: scan-event totals and per-worker pool utilization
+	// from one instrumented parallel Matrix + TopK run.
+	ScanEvents map[string]int64  `json:"scan_events,omitempty"`
+	PoolStages []poolStageReport `json:"pool_stages,omitempty"`
 }
 
 // batchCommunities synthesizes n communities over a shared VK-like user
@@ -177,9 +200,57 @@ func runBatch(w io.Writer, cfg batchConfig) error {
 		}
 	})
 
+	if cfg.Metrics {
+		if err := instrumentedRun(comms, pivot, cands, cfg, eps, &rep); err != nil {
+			return err
+		}
+	}
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// instrumentedRun performs one parallel Matrix + TopK pass with the
+// join-event and pool-stats observers attached and folds the tallies
+// into the report. Kept out of the benchmark loops so the timing
+// figures stay uninstrumented.
+func instrumentedRun(comms []*csj.Community, pivot *csj.Community, cands []*csj.Community, cfg batchConfig, eps int32, rep *batchReport) error {
+	events := make(map[string]int64)
+	var stages []poolStageReport
+	var mu sync.Mutex // observers fire concurrently from pool workers
+	opts := &csj.Options{
+		Epsilon: eps,
+		Workers: cfg.Workers,
+		OnJoinEvents: func(ev csj.Events) {
+			cev := core.Events(ev)
+			mu.Lock()
+			cev.AddTo(func(name string, n int64) { events[name] += n })
+			mu.Unlock()
+		},
+		OnPoolStats: func(ps csj.PoolStats) {
+			sr := poolStageReport{
+				Stage:       ps.Stage,
+				WallNs:      ps.Wall.Nanoseconds(),
+				Utilization: ps.Utilization(),
+			}
+			for _, ws := range ps.Workers {
+				sr.Workers = append(sr.Workers, workerStat{Tasks: ws.Tasks, BusyNs: ws.Busy.Nanoseconds()})
+			}
+			mu.Lock()
+			stages = append(stages, sr)
+			mu.Unlock()
+		},
+	}
+	if _, err := csj.SimilarityMatrix(comms, csj.ExMinMax, opts); err != nil {
+		return err
+	}
+	if _, err := csj.TopK(pivot, cands, cfg.K, opts); err != nil {
+		return err
+	}
+	rep.ScanEvents = events
+	rep.PoolStages = stages
+	return nil
 }
 
 func toInternal(c *csj.Community) *vector.Community {

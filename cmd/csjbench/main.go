@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"sort"
 
 	"github.com/opencsj/csj/internal/harness"
@@ -58,9 +59,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batchSize = fs.Int("batchsize", 400, "batch mode: base community size")
 		workers   = fs.Int("workers", 0, "batch mode: parallel worker count (0 = GOMAXPROCS)")
 		topkK     = fs.Int("topkk", 3, "batch mode: k of the TopK benchmark")
+		metricsOn = fs.Bool("metrics", false, "batch mode: add scan-event counters and per-worker pool utilization to the JSON report")
+		pprofOut  = fs.String("pprof", "", "write a CPU profile of the whole run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	w := stdout
@@ -112,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Workers:     *workers,
 			K:           *topkK,
 			Seed:        *seed,
+			Metrics:     *metricsOn,
 		})
 	case *report:
 		return harness.WriteReport(w, cfg)

@@ -29,6 +29,11 @@
 //	-request-timeout per-request compute budget (exceeded → 503)
 //	-max-body-bytes  request body cap (exceeded → 413)
 //
+// Observability (see DESIGN.md §9):
+//
+//	-metrics  serve Prometheus text metrics at GET /metrics (default on)
+//	-pprof    mount net/http/pprof under /debug/pprof/ (default off)
+//
 // The server drains gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get -shutdown-grace to finish, and
 // any still running after that are canceled via their request context.
@@ -66,6 +71,10 @@ func main() {
 			"max keep-alive idle time before a connection is closed")
 		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second,
 			"how long to let in-flight requests drain on SIGINT/SIGTERM")
+		metricsOn = flag.Bool("metrics", true,
+			"serve Prometheus metrics at GET /metrics (see DESIGN.md §9)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount net/http/pprof under /debug/pprof/ (trusted networks only)")
 	)
 	flag.Parse()
 
@@ -78,6 +87,8 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
+		DisableMetrics: !*metricsOn,
+		EnablePprof:    *pprofOn,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

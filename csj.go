@@ -167,6 +167,21 @@ type Options struct {
 	// may differ. Approximate methods ignore Workers (their greedy scan
 	// is order-dependent and stays serial).
 	Workers int
+	// OnPoolStats, when non-nil, receives per-worker utilization for
+	// every worker-pool stage run by the batch engines
+	// (SimilarityMatrix, TopK, Rank) — one synchronous callback per
+	// stage, after the stage completes (also on error, reporting the
+	// work done up to the stop). Results are unaffected; leave nil when
+	// not observing.
+	OnPoolStats func(PoolStats)
+	// OnJoinEvents, when non-nil, receives the event tallies of every
+	// completed join — one-shot Similarity calls and each prepared cell
+	// or probe of the batch engines. It is called synchronously after a
+	// join finishes, possibly concurrently from pool workers, so
+	// implementations must be safe for concurrent use (the metrics
+	// layer's counters are). The scan hot loops are untouched: tallies
+	// keep accumulating in Events and are handed over once per join.
+	OnJoinEvents func(Events)
 }
 
 func (o *Options) orDefault() Options {
@@ -277,6 +292,9 @@ func SimilarityCtx(ctx context.Context, b, a *Community, method Method, opts *Op
 		p = o.P
 	}
 	out.Similarity = p * float64(len(out.Pairs)) / float64(b.Size())
+	if o.OnJoinEvents != nil {
+		o.OnJoinEvents(out.Events)
+	}
 	return out, nil
 }
 

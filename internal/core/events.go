@@ -89,6 +89,55 @@ func (e *Events) Add(other Events) {
 	e.OffsetAdvances += other.OffsetAdvances
 }
 
+// MetricName is the stable identifier of an event counter in external
+// aggregators (Prometheus exposition). The names are the snake_case
+// forms of the paper's event names plus the two bookkeeping counters.
+func (k EventKind) MetricName() string {
+	switch k {
+	case EvMinPrune:
+		return "min_prune"
+	case EvMaxPrune:
+		return "max_prune"
+	case EvNoOverlap:
+		return "no_overlap"
+	case EvNoMatch:
+		return "no_match"
+	case EvMatch:
+		return "match"
+	case EvCSFFlush:
+		return "csf_flush"
+	default:
+		return fmt.Sprintf("event_kind_%d", uint8(k))
+	}
+}
+
+// MetricNames lists every name AddTo emits, in emission order. External
+// aggregators pre-register one counter per name so that feeding a
+// finished join's tallies stays allocation-free.
+var MetricNames = []string{
+	EvMinPrune.MetricName(), EvMaxPrune.MetricName(), EvNoOverlap.MetricName(),
+	EvNoMatch.MetricName(), EvMatch.MetricName(), EvCSFFlush.MetricName(),
+	"ego_prune", "offset_advance",
+}
+
+// AddTo feeds the event counts of a finished join to an external
+// aggregator under their MetricNames. This is the bridge between the
+// scan loops and the metrics layer: the hot loops keep tallying into
+// Events (one integer add per event), and the aggregation happens once
+// per join, after the scan — so the prepared scan path stays
+// allocation-free. add must not retain the name strings beyond the
+// call (they are constants; this is trivially satisfied).
+func (e *Events) AddTo(add func(name string, n int64)) {
+	add(MetricNames[0], e.MinPrunes)
+	add(MetricNames[1], e.MaxPrunes)
+	add(MetricNames[2], e.NoOverlaps)
+	add(MetricNames[3], e.NoMatches)
+	add(MetricNames[4], e.Matches)
+	add(MetricNames[5], e.CSFCalls)
+	add(MetricNames[6], e.EGOPrunes)
+	add(MetricNames[7], e.OffsetAdvances)
+}
+
 // TraceEvent is one entry of an execution trace. BPos and APos are
 // positions in the sorted Encd_B / Encd_A buffers (not real user IDs);
 // -1 marks "not applicable" (e.g. the A side of a CSF flush).

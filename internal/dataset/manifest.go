@@ -144,5 +144,11 @@ func readBinaryFile(path string) (*vector.Community, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return vector.ReadBinary(f)
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	// The file size lets the reader reject headers that claim more
+	// payload than the file holds before allocating anything.
+	return vector.ReadBinarySized(f, fi.Size())
 }

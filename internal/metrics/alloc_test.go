@@ -1,0 +1,97 @@
+//go:build !race
+
+// The metrics-overhead guard (ISSUE 3, CI): the prepared Ap-MinMax hot
+// path must stay 0 allocs/op with metrics collection enabled. The scan
+// loops tally into core.Events in-loop (plain integer adds); the
+// metrics layer aggregates those tallies once per join via
+// ScanEventCounters.Observe, which is map lookups plus atomic adds.
+// This test runs the full instrumented sequence — scratch'd prepared
+// join, then Observe — under testing.AllocsPerRun and fails on any
+// allocation. It is skipped under -race because the detector's
+// instrumentation inflates allocation counts (same convention as
+// internal/core's race_off/race_on files).
+
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+func preparedPair(tb testing.TB, eps int32) (*core.Prepared, *core.Prepared) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	mk := func(n, d int) *vector.Community {
+		users := make([]vector.Vector, n)
+		for i := range users {
+			u := make(vector.Vector, d)
+			for j := range u {
+				u[j] = int32(rng.Intn(40))
+			}
+			users[i] = u
+		}
+		return &vector.Community{Name: "g", Category: -1, Users: users}
+	}
+	opts := core.Options{Eps: eps}
+	pb, err := core.Prepare(mk(96, 8), opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pa, err := core.Prepare(mk(128, 8), opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pb, pa
+}
+
+func TestInstrumentedPreparedApZeroAllocs(t *testing.T) {
+	pb, pa := preparedPair(t, 2)
+	reg := NewRegistry()
+	sc := NewScanEventCounters(reg, "csj_scan_events_total", "scan events")
+	opts := core.Options{Eps: 2}
+	scratch := core.NewScratch()
+	var res core.Result
+
+	// Warm the scratch so buffer growth is excluded (steady state).
+	if err := core.ApMinMaxPreparedInto(pb, pa, opts, scratch, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := core.ApMinMaxPreparedInto(pb, pa, opts, scratch, &res); err != nil {
+			panic(err)
+		}
+		sc.Observe(&res.Events)
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented prepared Ap path allocates %.1f allocs/op, want 0", allocs)
+	}
+	if res.Events.Comparisons() == 0 {
+		t.Fatal("guard join performed no comparisons; test data is degenerate")
+	}
+	if sc.Counter("match").Value() == 0 && sc.Counter("no_match").Value() == 0 {
+		t.Error("metrics observed no comparison events; Observe is not wired")
+	}
+}
+
+// BenchmarkInstrumentedPreparedAp keeps an allocation-reporting
+// benchmark alongside the hard guard, so `make bench` surfaces any
+// regression's magnitude, not just its existence.
+func BenchmarkInstrumentedPreparedAp(b *testing.B) {
+	pb, pa := preparedPair(b, 2)
+	reg := NewRegistry()
+	sc := NewScanEventCounters(reg, "csj_scan_events_total", "scan events")
+	opts := core.Options{Eps: 2}
+	scratch := core.NewScratch()
+	var res core.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.ApMinMaxPreparedInto(pb, pa, opts, scratch, &res); err != nil {
+			b.Fatal(err)
+		}
+		sc.Observe(&res.Events)
+	}
+}

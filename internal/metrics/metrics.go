@@ -1,0 +1,291 @@
+// Package metrics is a dependency-free (stdlib-only) metrics substrate
+// for the CSJ service: atomic counters and gauges, fixed-bucket
+// histograms, and a registry that renders the Prometheus text
+// exposition format. It exists so the join engine's algorithmic events
+// (MIN PRUNE, MAX PRUNE, ...) and the HTTP service's request flow can
+// be observed from live traffic without pulling in a client library.
+//
+// Collection is lock-free on the hot path: Counter and Gauge are one
+// atomic add; Histogram.Observe is a binary search over a small bounds
+// slice plus two atomic adds. Registration is expected at startup
+// (Registry serializes it with a mutex); exposition takes a consistent
+// point-in-time snapshot of each metric but not across metrics, which
+// is the usual Prometheus contract.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are constant key/value pairs attached to a metric at
+// registration time (Prometheus label sets). They must not change
+// after registration.
+type Labels map[string]string
+
+// render formats the label set as {k="v",...} in sorted key order.
+// extra, when non-empty, is appended verbatim as a final pair (used
+// for histogram "le" labels).
+func (l Labels) render(extraKey, extraVal string) string {
+	if len(l) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, l[k])
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", extraKey, extraVal)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (in-flight requests, pool
+// occupancy).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative n decreases it).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc and Dec move the gauge by ±1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bucket i counts observations <= bounds[i], plus an implicit
+// +Inf bucket. Observations also accumulate into a float64 sum (CAS on
+// the bit pattern), so exposition can report _sum and _count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits
+	total  atomic.Int64
+}
+
+// DefBuckets are the default latency buckets in seconds, matching the
+// Prometheus client default: 1ms .. 10s.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// LinearBuckets returns count buckets of the given width starting at
+// start (e.g. utilization ratios 0.1, 0.2, ... 1.0).
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; equal values belong to the
+	// bucket (cumulative le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// kind is the Prometheus metric type of a registry entry.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric instance (one label set of one family).
+type entry struct {
+	name   string
+	help   string
+	kind   kind
+	labels Labels
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds registered metrics and renders them. Multiple entries
+// may share a family name (same name, different label sets); they must
+// agree on type and help. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]kind)}
+}
+
+func (r *Registry) register(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.byName[e.name]; ok && k != e.kind {
+		panic(fmt.Sprintf("metrics: %s reregistered as %s, was %s", e.name, e.kind, k))
+	}
+	r.byName[e.name] = e.kind
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers and returns a counter with the given family name,
+// help text, and constant labels (nil for none).
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(&entry{name: name, help: help, kind: kindCounter, labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(&entry{name: name, help: help, kind: kindGauge, labels: labels, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a histogram with the given upper
+// bucket bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := newHistogram(bounds)
+	r.register(&entry{name: name, help: help, kind: kindHistogram, labels: labels, hist: h})
+	return h
+}
+
+// formatFloat renders a float the way Prometheus expects: "+Inf" for
+// the last bucket, %g otherwise (integers stay clean, e.g. "5").
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Entries of one family are
+// grouped under a single HELP/TYPE header in first-registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+
+	// Group by family name, preserving first-appearance order.
+	order := make([]string, 0, len(entries))
+	families := make(map[string][]*entry, len(entries))
+	for _, e := range entries {
+		if _, ok := families[e.name]; !ok {
+			order = append(order, e.name)
+		}
+		families[e.name] = append(families[e.name], e)
+	}
+
+	var sb strings.Builder
+	for _, name := range order {
+		fam := families[name]
+		fmt.Fprintf(&sb, "# HELP %s %s\n", name, fam[0].help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, fam[0].kind)
+		for _, e := range fam {
+			switch e.kind {
+			case kindCounter:
+				fmt.Fprintf(&sb, "%s%s %d\n", e.name, e.labels.render("", ""), e.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(&sb, "%s%s %d\n", e.name, e.labels.render("", ""), e.gauge.Value())
+			case kindHistogram:
+				h := e.hist
+				var cum int64
+				for i, b := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", e.name, e.labels.render("le", formatFloat(b)), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", e.name, e.labels.render("le", "+Inf"), cum)
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", e.name, e.labels.render("", ""), formatFloat(h.Sum()))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", e.name, e.labels.render("", ""), h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

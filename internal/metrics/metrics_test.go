@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/opencsj/csj/internal/core"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-17) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help", nil)
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	g.Inc()
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", nil, []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 2 + 100; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative buckets: le=0.1 holds 2 (0.05 and the boundary value),
+	// le=1 holds 3, le=10 holds 4, +Inf holds all 5.
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.1"} 2`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="10"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusExpositionParses runs a minimal exposition-format
+// parser over the rendered output: every non-comment line must be
+// "name[{labels}] value", every family must carry HELP and TYPE
+// comments before its first sample, and label values must be quoted.
+func TestPrometheusExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("csj_requests_total", "requests", Labels{"route": "/similarity", "method": "POST"}).Add(3)
+	r.Counter("csj_requests_total", "requests", Labels{"route": "/rank", "method": "POST"}).Add(1)
+	r.Gauge("csj_inflight", "in-flight", nil).Set(2)
+	r.Histogram("csj_latency_seconds", "latency", Labels{"route": "/similarity"}, []float64{0.5}).Observe(0.2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]string{}
+	helped := map[string]bool{}
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			helped[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown TYPE %q in %q", parts[3], line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		// Sample line: name or name{k="v",...}, one space, value.
+		name, rest, found := strings.Cut(line, " ")
+		if !found || rest == "" {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			for _, pair := range strings.Split(name[i+1:len(name)-1], ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || k == "" || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("malformed label pair %q in %q", pair, line)
+				}
+			}
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(name, suffix); fam != name && typed[fam] == "histogram" {
+				base = fam
+			}
+		}
+		if typed[base] == "" || !helped[base] {
+			t.Errorf("sample %q has no preceding TYPE/HELP for family %q", line, base)
+		}
+		if rest != "+Inf" {
+			if _, err := fmt.Sscanf(rest, "%f", new(float64)); err != nil {
+				t.Errorf("sample %q has non-numeric value %q", line, rest)
+			}
+		}
+		samples++
+	}
+	if samples < 7 { // 2 counters + 1 gauge + (2 buckets + sum + count)
+		t.Errorf("expected at least 7 samples, got %d", samples)
+	}
+}
+
+func TestScanEventCountersObserve(t *testing.T) {
+	r := NewRegistry()
+	sc := NewScanEventCounters(r, "csj_scan_events_total", "scan events")
+	ev := core.Events{MinPrunes: 3, MaxPrunes: 2, NoOverlaps: 1, NoMatches: 5, Matches: 4,
+		CSFCalls: 1, EGOPrunes: 0, OffsetAdvances: 7}
+	sc.Observe(&ev)
+	sc.Observe(&ev)
+	for name, want := range map[string]int64{
+		"min_prune": 6, "max_prune": 4, "no_overlap": 2, "no_match": 10,
+		"match": 8, "csf_flush": 2, "ego_prune": 0, "offset_advance": 14,
+	} {
+		if got := sc.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `csj_scan_events_total{event="match"} 8`; !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestConcurrentCollection(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h", nil)
+	g := r.Gauge("g", "h", nil)
+	h := r.Histogram("h_seconds", "h", nil, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("got c=%d g=%d h=%d, want 8000 each", c.Value(), g.Value(), h.Count())
+	}
+	if math.Abs(h.Sum()-80.0) > 1e-6 {
+		t.Errorf("histogram sum = %g, want 80", h.Sum())
+	}
+}
+
+func TestRegistryPanicsOnTypeConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on re-registering x as gauge")
+		}
+	}()
+	r.Gauge("x", "h", nil)
+}

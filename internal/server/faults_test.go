@@ -156,10 +156,13 @@ func TestFaultAdmissionControlShedsWith429(t *testing.T) {
 }
 
 func TestFaultComputeBudgetExhaustedReturns503(t *testing.T) {
-	// A budget this small expires before the join's first checkpoint,
-	// so the 503 is deterministic regardless of machine speed.
+	// A 1µs budget expires almost immediately, but context timers only
+	// cancel once their runtime timer fires — so the matrix must be
+	// large enough to still be scanning when that happens (same sizing
+	// as the disconnect test below). The join then unwinds at its next
+	// cancellation checkpoint and the 503 is deterministic.
 	_, ts := newFaultServer(t, Config{RequestTimeout: time.Microsecond})
-	ids := uploadDense(t, ts, 3, 60)
+	ids := uploadDense(t, ts, 10, 400)
 
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(MatrixRequest{

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/metrics"
+)
+
+// This file is the observability layer of the HTTP service (DESIGN.md
+// §9): a per-server metrics registry exposed at GET /metrics in the
+// Prometheus text format, per-endpoint request/latency/status-class
+// instrumentation, in-flight and admission-rejection tracking hooked
+// into the heavy-endpoint semaphore, live counters of the paper's scan
+// events fed from finished joins, batch-pool worker utilization, and
+// opt-in net/http/pprof.
+
+// statusClasses are the status-class label values, indexed status/100.
+var statusClasses = [...]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeMetrics is the instrument set of one registered route.
+type routeMetrics struct {
+	seconds *metrics.Histogram
+	byClass [len(statusClasses)]*metrics.Counter
+}
+
+func (rm *routeMetrics) observe(status int, elapsed time.Duration) {
+	if rm == nil {
+		return
+	}
+	class := status / 100
+	if class < 1 || class >= len(statusClasses) {
+		class = 5
+	}
+	rm.byClass[class].Inc()
+	rm.seconds.Observe(elapsed.Seconds())
+}
+
+// serverMetrics bundles the service's live instruments. A nil
+// *serverMetrics (Config.DisableMetrics) turns every observation into
+// a no-op.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	// routes maps a registered mux pattern ("POST /similarity") to its
+	// instruments; fallthrough covers requests no route matched (404s,
+	// bad methods).
+	routes      map[string]*routeMetrics
+	unmatched *routeMetrics
+
+	inflight *metrics.Gauge
+	rejected *metrics.Counter
+
+	scan *metrics.ScanEventCounters
+
+	poolStages      *metrics.Counter
+	poolTasks       *metrics.Counter
+	poolUtilization *metrics.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:    reg,
+		routes: make(map[string]*routeMetrics),
+		inflight: reg.Gauge("csj_http_inflight_heavy",
+			"Heavy join requests currently holding an admission slot.", nil),
+		rejected: reg.Counter("csj_http_rejected_total",
+			"Requests shed by admission control.", metrics.Labels{"reason": "capacity"}),
+		scan: metrics.NewScanEventCounters(reg, "csj_scan_events_total",
+			"MinMax scan events aggregated over completed joins (the paper's MIN PRUNE / MAX PRUNE / NO OVERLAP / NO MATCH / MATCH, plus CSF flushes, EGO prunes, and skip/offset fast-forwards)."),
+		poolStages: reg.Counter("csj_batch_pool_stages_total",
+			"Worker-pool stages completed by the batch engines.", nil),
+		poolTasks: reg.Counter("csj_batch_pool_tasks_total",
+			"Tasks (cells, probes, preparations) completed by batch-engine pools.", nil),
+		poolUtilization: reg.Histogram("csj_batch_pool_utilization_ratio",
+			"Per-stage worker utilization: busy worker-seconds over wall-clock times pool size (1.0 = no idle tails).",
+			nil, metrics.LinearBuckets(0.1, 0.1, 10)),
+	}
+	m.unmatched = m.route("other", "other")
+	return m
+}
+
+// route registers (or returns) the instrument set for one endpoint.
+func (m *serverMetrics) route(method, path string) *routeMetrics {
+	key := method + " " + path
+	if rm, ok := m.routes[key]; ok {
+		return rm
+	}
+	rm := &routeMetrics{
+		seconds: m.reg.Histogram("csj_http_request_seconds",
+			"Request latency by endpoint.",
+			metrics.Labels{"method": method, "route": path}, nil),
+	}
+	for class := 1; class < len(statusClasses); class++ {
+		rm.byClass[class] = m.reg.Counter("csj_http_requests_total",
+			"Requests completed, by endpoint and status class.",
+			metrics.Labels{"method": method, "route": path, "class": statusClasses[class]})
+	}
+	m.routes[key] = rm
+	return rm
+}
+
+// observeJoinEvents feeds one finished join's tallies into the scan
+// counters; safe for concurrent use from pool workers.
+func (m *serverMetrics) observeJoinEvents(ev csj.Events) {
+	if m == nil {
+		return
+	}
+	cev := core.Events(ev)
+	m.scan.Observe(&cev)
+}
+
+// observePoolStats records one batch-engine pool stage.
+func (m *serverMetrics) observePoolStats(ps csj.PoolStats) {
+	if m == nil {
+		return
+	}
+	m.poolStages.Inc()
+	var tasks int64
+	for _, w := range ps.Workers {
+		tasks += int64(w.Tasks)
+	}
+	m.poolTasks.Add(tasks)
+	m.poolUtilization.Observe(ps.Utilization())
+}
+
+// instrument attaches the join observers of the heavy endpoints to a
+// request's options payload. Returns opts unchanged when metrics are
+// disabled.
+func (s *Server) instrumentOptions(opts *csj.Options) *csj.Options {
+	if s.metrics == nil {
+		return opts
+	}
+	opts.OnJoinEvents = s.metrics.observeJoinEvents
+	opts.OnPoolStats = s.metrics.observePoolStats
+	return opts
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		s.logf("writing /metrics: %v", err)
+	}
+}
+
+// mountPprof exposes net/http/pprof on the server's own mux (the
+// default-mux registrations of the pprof package are not served).
+// Gate this behind Config.EnablePprof: profiles reveal internals and
+// profiling costs CPU, so expose it on trusted networks only.
+func (s *Server) mountPprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// responseRecorder captures the status and byte count a handler writes
+// so the completion log line and the per-endpoint metrics can see
+// them. The route instruments are attached by the per-route wrapper
+// once the mux has matched.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	rm     *routeMetrics
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming support (pprof's trace endpoint flushes).
+func (r *responseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *responseRecorder) statusOrDefault() int {
+	if r.status == 0 {
+		// Nothing was written: net/http would send 200 on return.
+		return http.StatusOK
+	}
+	return r.status
+}
+
+// finishRequest runs after the handler (and after panic recovery, so a
+// recovered 500 is observed): it updates the endpoint instruments and
+// emits the structured completion log line.
+func (s *Server) finishRequest(rec *responseRecorder, r *http.Request, start time.Time) {
+	elapsed := time.Since(start)
+	status := rec.statusOrDefault()
+	if s.metrics != nil {
+		rm := rec.rm
+		if rm == nil {
+			rm = s.metrics.unmatched
+		}
+		rm.observe(status, elapsed)
+	}
+	s.logf("request method=%s path=%s status=%d bytes=%d dur=%s",
+		r.Method, r.URL.Path, status, rec.bytes, elapsed.Round(time.Microsecond))
+}

@@ -37,6 +37,14 @@ type Config struct {
 	// MaxBodyBytes caps every request body; larger uploads get 413.
 	// 0 selects DefaultMaxBodyBytes; negative disables the cap.
 	MaxBodyBytes int64
+	// DisableMetrics turns off the observability layer: no /metrics
+	// endpoint, no per-endpoint instrumentation, no scan-event counters.
+	// Collection is a few atomic adds per request, so the default is on.
+	DisableMetrics bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles reveal internals and profiling costs CPU, so
+	// expose it on trusted networks only.
+	EnablePprof bool
 }
 
 const (
@@ -99,8 +107,15 @@ func (s *Server) heavy(h http.HandlerFunc) http.HandlerFunc {
 		if s.inflight != nil {
 			select {
 			case s.inflight <- struct{}{}:
+				if s.metrics != nil {
+					s.metrics.inflight.Inc()
+					defer s.metrics.inflight.Dec()
+				}
 				defer func() { <-s.inflight }()
 			default:
+				if s.metrics != nil {
+					s.metrics.rejected.Inc()
+				}
 				w.Header().Set("Retry-After", "1")
 				s.writeErr(w, http.StatusTooManyRequests,
 					fmt.Errorf("server at capacity (%d heavy requests in flight)", cap(s.inflight)))

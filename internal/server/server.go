@@ -11,7 +11,9 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	csj "github.com/opencsj/csj"
 )
@@ -25,6 +27,10 @@ type Server struct {
 	// inflight is the admission semaphore of the heavy join endpoints;
 	// nil when admission control is disabled.
 	inflight chan struct{}
+	// metrics is the observability layer (DESIGN.md §9); nil when
+	// Config.DisableMetrics is set, which turns every observation into
+	// a no-op.
+	metrics *serverMetrics
 
 	mu          sync.RWMutex
 	communities map[int64]*csj.Community
@@ -59,36 +65,69 @@ func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 	if s.cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, s.cfg.MaxInFlight)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /communities", s.handleCreateCommunity)
-	s.mux.HandleFunc("GET /communities", s.handleListCommunities)
-	s.mux.HandleFunc("GET /communities/{id}", s.handleGetCommunity)
-	s.mux.HandleFunc("DELETE /communities/{id}", s.handleDeleteCommunity)
+	if !s.cfg.DisableMetrics {
+		s.metrics = newServerMetrics()
+	}
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("POST /communities", s.handleCreateCommunity)
+	s.handle("GET /communities", s.handleListCommunities)
+	s.handle("GET /communities/{id}", s.handleGetCommunity)
+	s.handle("DELETE /communities/{id}", s.handleDeleteCommunity)
 	// The four join endpoints run O(n²)-ish scans; they pass through
 	// admission control and get a compute deadline.
-	s.mux.HandleFunc("POST /similarity", s.heavy(s.handleSimilarity))
-	s.mux.HandleFunc("POST /rank", s.heavy(s.handleRank))
-	s.mux.HandleFunc("POST /topk", s.heavy(s.handleTopK))
-	s.mux.HandleFunc("POST /matrix", s.heavy(s.handleMatrix))
-	s.mux.HandleFunc("POST /joins", s.handleCreateJoin)
-	s.mux.HandleFunc("GET /joins/{id}", s.handleGetJoin)
-	s.mux.HandleFunc("POST /joins/{id}/users", s.handleJoinAddUser)
-	s.mux.HandleFunc("DELETE /joins/{id}/users/{side}/{uid}", s.handleJoinRemoveUser)
+	s.handle("POST /similarity", s.heavy(s.handleSimilarity))
+	s.handle("POST /rank", s.heavy(s.handleRank))
+	s.handle("POST /topk", s.heavy(s.handleTopK))
+	s.handle("POST /matrix", s.heavy(s.handleMatrix))
+	s.handle("POST /joins", s.handleCreateJoin)
+	s.handle("GET /joins/{id}", s.handleGetJoin)
+	s.handle("POST /joins/{id}/users", s.handleJoinAddUser)
+	s.handle("DELETE /joins/{id}/users/{side}/{uid}", s.handleJoinRemoveUser)
+	if s.metrics != nil {
+		s.handle("GET /metrics", s.handleMetrics)
+	}
+	if s.cfg.EnablePprof {
+		s.mountPprof()
+	}
 	return s
+}
+
+// handle registers a route and, when metrics are enabled, wraps the
+// handler so the matched route's instrument set is attached to the
+// request's response recorder (created in ServeHTTP). The pattern must
+// be "METHOD /path".
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	if s.metrics == nil {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("server: route pattern without method: " + pattern)
+	}
+	rm := s.metrics.route(method, path)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if rec, isRec := w.(*responseRecorder); isRec {
+			rec.rm = rm
+		}
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler: panic recovery and the body-size
 // cap wrap every route, so one faulting request can neither kill the
-// process nor buffer an unbounded upload.
+// process nor buffer an unbounded upload. Every response flows through
+// a recorder so the completion log line and the per-endpoint metrics
+// see the final status — including a 500 written by panic recovery
+// (finishRequest is deferred first, so it runs after recoverPanic).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	defer s.recoverPanic(w, r)
+	rec := &responseRecorder{ResponseWriter: w}
+	defer s.finishRequest(rec, r, time.Now())
+	defer s.recoverPanic(rec, r)
 	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 	}
-	if s.log != nil {
-		s.log.Printf("%s %s", r.Method, r.URL.Path)
-	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(rec, r)
 }
 
 // ---- wire types ----
@@ -373,7 +412,7 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	if req.Orient {
 		b, a = csj.Orient(b, a)
 	}
-	res, err := csj.SimilarityCtx(r.Context(), b, a, method, opts)
+	res, err := csj.SimilarityCtx(r.Context(), b, a, method, s.instrumentOptions(opts))
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
@@ -420,7 +459,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ranked, err := csj.RankCtx(r.Context(), pivot, cands, method, opts)
+	ranked, err := csj.RankCtx(r.Context(), pivot, cands, method, s.instrumentOptions(opts))
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
@@ -460,7 +499,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	top, err := csj.TopKCtx(r.Context(), pivot, cands, req.K, opts)
+	top, err := csj.TopKCtx(r.Context(), pivot, cands, req.K, s.instrumentOptions(opts))
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
@@ -513,7 +552,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	entries, err := csj.SimilarityMatrixCtx(r.Context(), comms, method, opts)
+	entries, err := csj.SimilarityMatrixCtx(r.Context(), comms, method, s.instrumentOptions(opts))
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return

@@ -48,35 +48,40 @@ func csvEscape(s string) string {
 
 // ReadCSV parses a community written by WriteCSV. Blank lines are
 // ignored; the first "# name=... category=..." comment, if present, sets
-// the community metadata.
+// the community metadata. Rows may be arbitrarily wide: the reader has
+// no per-line token limit (bufio.Scanner's cap turned large-d profiles
+// into "token too long").
 func ReadCSV(r io.Reader) (*Community, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	br := bufio.NewReaderSize(r, 1<<16)
 	c := &Community{Category: -1}
 	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
+	for {
+		text, rerr := br.ReadString('\n')
+		if text != "" {
+			line++
 		}
-		if strings.HasPrefix(text, "#") {
-			parseCSVHeader(text, c)
-			continue
-		}
-		fields := strings.Split(text, ",")
-		u := make(Vector, len(fields))
-		for i, f := range fields {
-			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("vector: csv line %d field %d: %w", line, i+1, err)
+		if trimmed := strings.TrimSpace(text); trimmed != "" {
+			if strings.HasPrefix(trimmed, "#") {
+				parseCSVHeader(trimmed, c)
+			} else {
+				fields := strings.Split(trimmed, ",")
+				u := make(Vector, len(fields))
+				for i, f := range fields {
+					v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 32)
+					if err != nil {
+						return nil, fmt.Errorf("vector: csv line %d field %d: %w", line, i+1, err)
+					}
+					u[i] = int32(v)
+				}
+				c.Users = append(c.Users, u)
 			}
-			u[i] = int32(v)
 		}
-		c.Users = append(c.Users, u)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
 	}
 	if err := c.Validate(0); err != nil {
 		return nil, err
@@ -139,8 +144,27 @@ func WriteBinary(w io.Writer, c *Community) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a community written by WriteBinary.
+// MaxBinaryPayloadBytes caps how many profile-payload bytes (n*d*4) a
+// binary header may claim. The header is untrusted input — without a
+// cap, a 36-byte crafted file claiming n=1<<30 users would drive a
+// multi-gigabyte allocation before a single payload byte is read.
+const MaxBinaryPayloadBytes = int64(1) << 31
+
+// ReadBinary parses a community written by WriteBinary. When the total
+// input size is known (a file, an HTTP body with Content-Length), prefer
+// ReadBinarySized so implausible headers are rejected up front.
 func ReadBinary(r io.Reader) (*Community, error) {
+	return ReadBinarySized(r, -1)
+}
+
+// ReadBinarySized parses a community written by WriteBinary, treating
+// the header as untrusted: the claimed payload size n*d*4 is checked
+// against MaxBinaryPayloadBytes and, when sizeHint >= 0, against the
+// number of bytes the source can actually supply. Rows are then
+// allocated incrementally as they are read, so memory use tracks the
+// bytes actually consumed rather than the header's claim. A negative
+// sizeHint means the total input size is unknown.
+func ReadBinarySized(r io.Reader, sizeHint int64) (*Community, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -160,14 +184,22 @@ func ReadBinary(r io.Reader) (*Community, error) {
 	if nameLen > 1<<20 || n > 1<<30 || d > 1<<16 {
 		return nil, fmt.Errorf("vector: implausible header (nameLen=%d n=%d d=%d)", nameLen, n, d)
 	}
+	payload := int64(n) * int64(d) * 4 // n <= 1<<30, d <= 1<<16: no overflow
+	if payload > MaxBinaryPayloadBytes {
+		return nil, fmt.Errorf("vector: header claims %d bytes of profiles (n=%d d=%d), over the %d-byte cap",
+			payload, n, d, MaxBinaryPayloadBytes)
+	}
+	if need := int64(len(binaryMagic)) + 16 + int64(nameLen) + payload; sizeHint >= 0 && sizeHint < need {
+		return nil, fmt.Errorf("vector: header claims %d bytes but the source holds only %d", need, sizeHint)
+	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, fmt.Errorf("vector: reading name: %w", err)
 	}
 	c := &Community{Name: string(name), Category: int(category)}
-	c.Users = make([]Vector, n)
+	c.Users = make([]Vector, 0, min(int(n), 1024))
 	buf := make([]byte, 4*d)
-	for i := range c.Users {
+	for i := 0; i < int(n); i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("vector: reading user %d: %w", i, err)
 		}
@@ -175,7 +207,7 @@ func ReadBinary(r io.Reader) (*Community, error) {
 		for j := range u {
 			u[j] = int32(binary.LittleEndian.Uint32(buf[4*j:]))
 		}
-		c.Users[i] = u
+		c.Users = append(c.Users, u)
 	}
 	if err := c.Validate(int(d)); err != nil {
 		return nil, err

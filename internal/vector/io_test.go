@@ -2,7 +2,11 @@ package vector
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math/rand"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -132,5 +136,128 @@ func TestReadBinaryRejectsTruncated(t *testing.T) {
 		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
 			t.Errorf("expected error on truncation to %d bytes", cut)
 		}
+	}
+}
+
+// craftBinaryHeader builds magic + header claiming the given shape,
+// followed by payload (which may be far less than the header claims).
+func craftBinaryHeader(nameLen, category, n, d uint32, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	hdr := make([]byte, 0, 16)
+	hdr = binary.LittleEndian.AppendUint32(hdr, nameLen)
+	hdr = binary.LittleEndian.AppendUint32(hdr, category)
+	hdr = binary.LittleEndian.AppendUint32(hdr, n)
+	hdr = binary.LittleEndian.AppendUint32(hdr, d)
+	buf.Write(hdr)
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// TestReadBinaryMaliciousHeaderDoesNotPreallocate pins the ingest
+// hardening: a tiny file whose header claims ~2^30 users must fail with
+// an error — and without allocating memory proportional to the claim.
+// Before the fix, make([]Vector, n) allocated gigabytes of slice
+// headers from a 36-byte input.
+func TestReadBinaryMaliciousHeaderDoesNotPreallocate(t *testing.T) {
+	// n*d*4 stays under the payload cap, so only incremental allocation
+	// protects us here; the read must die on the missing payload.
+	in := craftBinaryHeader(0, 0, 1<<27, 1, nil)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	c, err := ReadBinary(bytes.NewReader(in))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatalf("accepted a %d-byte file claiming 2^27 users: %+v", len(in), c)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Errorf("rejecting the malicious header allocated %d bytes; want memory proportional to input, not header claim", grew)
+	}
+}
+
+func TestReadBinaryRejectsPayloadOverCap(t *testing.T) {
+	// n and d individually plausible, but n*d*4 = 2^34 bytes.
+	in := craftBinaryHeader(0, 0, 1<<26, 1<<6, nil)
+	_, err := ReadBinary(bytes.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("payload over MaxBinaryPayloadBytes: err = %v, want cap error", err)
+	}
+}
+
+func TestReadBinarySizedRejectsShortSource(t *testing.T) {
+	c := &Community{Name: "sized", Users: []Vector{{1, 2}, {3, 4}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// The true size round-trips.
+	if _, err := ReadBinarySized(bytes.NewReader(full), int64(len(full))); err != nil {
+		t.Fatalf("ReadBinarySized with exact hint: %v", err)
+	}
+	// A hint smaller than the header's claim fails up front with the
+	// claim-vs-source message, not a payload read error.
+	_, err := ReadBinarySized(bytes.NewReader(full), int64(len(full))-1)
+	if err == nil || !strings.Contains(err.Error(), "source holds only") {
+		t.Errorf("short size hint: err = %v, want claim-vs-source error", err)
+	}
+}
+
+// TestReadCSVWideRow pins the scanner fix: one profile row wider than
+// bufio.Scanner's old 4MiB token cap must parse (ReadCSV now streams
+// lines through a bufio.Reader with no per-line limit).
+func TestReadCSVWideRow(t *testing.T) {
+	const d = 1<<21 + 64 // ~2M dims; the row alone is >4MiB of text
+	var sb strings.Builder
+	sb.Grow(3 * d)
+	for i := 0; i < d; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(i % 10))
+	}
+	row := sb.String()
+	if len(row) <= 1<<22 {
+		t.Fatalf("test row is only %d bytes; must exceed the old 4MiB cap", len(row))
+	}
+	c, err := ReadCSV(strings.NewReader(row + "\n" + row + "\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV wide row: %v", err)
+	}
+	if c.Size() != 2 || c.Dim() != d {
+		t.Fatalf("parsed %d users x %d dims, want 2 x %d", c.Size(), c.Dim(), d)
+	}
+	if c.Users[1][d-1] != int32((d-1)%10) {
+		t.Errorf("last counter = %d, want %d", c.Users[1][d-1], (d-1)%10)
+	}
+}
+
+// TestReadCSVFinalLineWithoutNewline guards the bufio.Reader rewrite:
+// the last row must parse even when the file has no trailing newline.
+func TestReadCSVFinalLineWithoutNewline(t *testing.T) {
+	c, err := ReadCSV(strings.NewReader("1,2,3\n4,5,6"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if c.Size() != 2 || c.Users[1][2] != 6 {
+		t.Errorf("parsed %+v, want 2 users ending in 6", c.Users)
+	}
+}
+
+// TestIngestRejectsNegativeCounters pins that both ingest paths refuse
+// negative counters (the scan loops assume non-negative profiles). The
+// binary case crafts 0xFFFFFFFF, which decodes to int32(-1).
+func TestIngestRejectsNegativeCounters(t *testing.T) {
+	payload := make([]byte, 12)
+	binary.LittleEndian.PutUint32(payload[0:], 1)
+	binary.LittleEndian.PutUint32(payload[4:], 0xFFFFFFFF)
+	binary.LittleEndian.PutUint32(payload[8:], 3)
+	in := craftBinaryHeader(0, 0, 1, 3, payload)
+	if _, err := ReadBinary(bytes.NewReader(in)); !errors.Is(err, ErrNegativeCounter) {
+		t.Errorf("binary negative counter: err = %v, want ErrNegativeCounter", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("7,8\n1,-2\n")); !errors.Is(err, ErrNegativeCounter) {
+		t.Errorf("csv negative counter: err = %v, want ErrNegativeCounter", err)
 	}
 }

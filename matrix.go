@@ -131,6 +131,9 @@ func similarityPrepared(ctx context.Context, b, a *PreparedCommunity, method Met
 		p = o.P
 	}
 	out.Similarity = p * float64(len(out.Pairs)) / float64(b.Size())
+	if o.OnJoinEvents != nil {
+		o.OnJoinEvents(out.Events)
+	}
 	return out, nil
 }
 
@@ -174,7 +177,7 @@ func SimilarityMatrixCtx(ctx context.Context, comms []*Community, method Method,
 	workers := batchWorkers(&o)
 
 	prepared := make([]*PreparedCommunity, len(comms))
-	if err := runPool(ctx, workers, len(comms), func(_, i int) error {
+	if err := runPoolStats(ctx, workers, len(comms), "matrix/prepare", o.OnPoolStats, func(_, i int) error {
 		p, err := Precompute(comms[i], opts)
 		if err != nil {
 			return fmt.Errorf("csj: preparing community %d (%s): %w", i, comms[i].Name, err)
@@ -194,7 +197,7 @@ func SimilarityMatrixCtx(ctx context.Context, comms []*Community, method Method,
 	}
 	out := make([]MatrixEntry, len(cells))
 	scratches := newScratchPool(workers)
-	err := runPool(ctx, workers, len(cells), func(w, idx int) error {
+	err := runPoolStats(ctx, workers, len(cells), "matrix/cells", o.OnPoolStats, func(w, idx int) error {
 		i, j := cells[idx][0], cells[idx][1]
 		b, a := prepared[i], prepared[j]
 		entry := MatrixEntry{I: i, J: j}

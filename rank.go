@@ -57,7 +57,7 @@ func RankCtx(ctx context.Context, pivot *Community, candidates []*Community, met
 	probeOpts := o
 	probeOpts.Workers = 1
 	out := make([]Ranked, len(candidates))
-	err := runPool(ctx, workers, len(candidates), func(_, i int) error {
+	err := runPoolStats(ctx, workers, len(candidates), "rank/probe", o.OnPoolStats, func(_, i int) error {
 		cand := candidates[i]
 		out[i] = Ranked{Index: i, Name: cand.Name}
 		b, a := Orient(pivot, cand)

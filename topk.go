@@ -63,7 +63,7 @@ func TopKCtx(ctx context.Context, pivot *Community, candidates []*Community, k i
 		return nil, fmt.Errorf("csj: preparing pivot %s: %w", pivot.Name, err)
 	}
 	pcs := make([]*PreparedCommunity, len(candidates))
-	if err := runPool(ctx, workers, len(candidates), func(_, i int) error {
+	if err := runPoolStats(ctx, workers, len(candidates), "topk/prepare", o.OnPoolStats, func(_, i int) error {
 		pc, err := Precompute(candidates[i], opts)
 		if err != nil {
 			return fmt.Errorf("csj: preparing candidate %s: %w", candidates[i].Name, err)
@@ -77,7 +77,7 @@ func TopKCtx(ctx context.Context, pivot *Community, candidates []*Community, k i
 
 	// Phase 1: approximate prefilter, one probe per candidate.
 	results := make([]TopKResult, len(candidates))
-	err = runPool(ctx, workers, len(candidates), func(w, i int) error {
+	err = runPoolStats(ctx, workers, len(candidates), "topk/phase1", o.OnPoolStats, func(w, i int) error {
 		results[i] = TopKResult{Index: i, Name: candidates[i].Name, Skipped: true}
 		b, a := orientPrepared(pp, pcs[i])
 		res, err := similarityPrepared(ctx, b, a, ApMinMax, &o, scratches.get(w))
@@ -110,7 +110,7 @@ func TopKCtx(ctx context.Context, pivot *Community, candidates []*Community, k i
 		}
 		refine = append(refine, i)
 	}
-	err = runPool(ctx, workers, len(refine), func(w, x int) error {
+	err = runPoolStats(ctx, workers, len(refine), "topk/phase2", o.OnPoolStats, func(w, x int) error {
 		ri := refine[x]
 		b, a := orientPrepared(pp, pcs[results[ri].Index])
 		res, err := similarityPrepared(ctx, b, a, ExMinMax, &o, scratches.get(w))
