@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench faults metricsguard
+.PHONY: check vet build test race bench faults metricsguard storeguard
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -35,3 +35,9 @@ bench:
 # allocation counts, which is why the test is !race-gated.
 metricsguard:
 	$(GO) test -count=1 -v -run '^TestInstrumentedPreparedApZeroAllocs$$' ./internal/metrics
+
+# storeguard is the store-overhead gate (DESIGN.md §10): the cache-hit
+# prepared Ap path — snapshot load, view lookups, scratch'd join — must
+# stay 0 allocs/op. !race-gated for the same reason as metricsguard.
+storeguard:
+	$(GO) test -count=1 -v -run '^TestStoreCacheHitPreparedApZeroAllocs$$' ./internal/store

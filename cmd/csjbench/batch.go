@@ -8,10 +8,12 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	csj "github.com/opencsj/csj"
 	"github.com/opencsj/csj/internal/core"
 	"github.com/opencsj/csj/internal/dataset"
+	"github.com/opencsj/csj/internal/store"
 	"github.com/opencsj/csj/internal/vector"
 )
 
@@ -66,6 +68,18 @@ type batchReport struct {
 	// The same joins through the one-shot prepared API, for comparison.
 	ApPreparedFreshAllocsOp float64 `json:"ap_prepared_fresh_allocs_op"`
 	ExPreparedFreshAllocsOp float64 `json:"ex_prepared_fresh_allocs_op"`
+
+	// Store section: the same matrix run through the community store's
+	// prepared-view cache, cold (every view is a miss that triggers a
+	// build) versus warm (every view is a hit, zero core.Prepare calls).
+	StoreColdMatrixNs int64   `json:"store_cold_matrix_ns"`
+	StoreWarmMatrixNs int64   `json:"store_warm_matrix_ns"`
+	StoreWarmSpeedup  float64 `json:"store_warm_speedup"`
+	StoreCacheHits    int64   `json:"store_cache_hits"`
+	StoreCacheMisses  int64   `json:"store_cache_misses"`
+	StoreCacheBuilds  int64   `json:"store_cache_builds"`
+	StoreCacheBytes   int64   `json:"store_cache_bytes"`
+	StoreCacheEntries int     `json:"store_cache_entries"`
 
 	// With -metrics: scan-event totals and per-worker pool utilization
 	// from one instrumented parallel Matrix + TopK run.
@@ -200,6 +214,10 @@ func runBatch(w io.Writer, cfg batchConfig) error {
 		}
 	})
 
+	if err := storeRun(comms, eps, parallelOpts, &rep); err != nil {
+		return err
+	}
+
 	if cfg.Metrics {
 		if err := instrumentedRun(comms, pivot, cands, cfg, eps, &rep); err != nil {
 			return err
@@ -250,6 +268,54 @@ func instrumentedRun(comms []*csj.Community, pivot *csj.Community, cands []*csj.
 	}
 	rep.ScanEvents = events
 	rep.PoolStages = stages
+	return nil
+}
+
+// storeRun measures the community store's prepared-view cache on the
+// matrix workload: a cold pass (every view misses and builds) and a
+// warm pass over the same snapshot (every view hits; zero core.Prepare
+// calls), with the cache counters folded into the report.
+func storeRun(comms []*csj.Community, eps int32, opts *csj.Options, rep *batchReport) error {
+	st := store.New(store.Config{})
+	ids := make([]int64, len(comms))
+	for i, c := range comms {
+		ids[i] = st.Create(c).ID
+	}
+	pass := func() (time.Duration, error) {
+		snap := st.Snapshot()
+		views := make([]*csj.PreparedCommunity, len(ids))
+		start := time.Now()
+		for i, id := range ids {
+			v, err := snap.Prepared(id, eps, 0)
+			if err != nil {
+				return 0, err
+			}
+			views[i] = v
+		}
+		if _, err := csj.SimilarityMatrixPrepared(views, csj.ExMinMax, opts); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	cold, err := pass()
+	if err != nil {
+		return err
+	}
+	warm, err := pass()
+	if err != nil {
+		return err
+	}
+	rep.StoreColdMatrixNs = cold.Nanoseconds()
+	rep.StoreWarmMatrixNs = warm.Nanoseconds()
+	if warm > 0 {
+		rep.StoreWarmSpeedup = float64(cold) / float64(warm)
+	}
+	cs := st.CacheStats()
+	rep.StoreCacheHits = cs.Hits
+	rep.StoreCacheMisses = cs.Misses
+	rep.StoreCacheBuilds = cs.Builds
+	rep.StoreCacheBytes = cs.Bytes
+	rep.StoreCacheEntries = cs.Entries
 	return nil
 }
 

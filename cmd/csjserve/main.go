@@ -25,9 +25,10 @@
 //
 // Operational limits (see DESIGN.md §8):
 //
-//	-max-inflight    concurrent heavy joins admitted before shedding 429
-//	-request-timeout per-request compute budget (exceeded → 503)
-//	-max-body-bytes  request body cap (exceeded → 413)
+//	-max-inflight         concurrent heavy joins admitted before shedding 429
+//	-request-timeout      per-request compute budget (exceeded → 503)
+//	-max-body-bytes       request body cap (exceeded → 413)
+//	-prepared-cache-bytes prepared-view cache cap (see DESIGN.md §10)
 //
 // Observability (see DESIGN.md §9):
 //
@@ -63,6 +64,8 @@ func main() {
 			"compute budget per heavy request (0 = 30s default, negative disables)")
 		maxBody = flag.Int64("max-body-bytes", 0,
 			"request body size cap in bytes (0 = 32 MiB default, negative disables)")
+		preparedCache = flag.Int64("prepared-cache-bytes", 0,
+			"prepared-view cache cap in bytes (0 = 256 MiB default, negative removes the cap)")
 		readTimeout = flag.Duration("read-timeout", 30*time.Second,
 			"max duration for reading an entire request")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute,
@@ -84,11 +87,12 @@ func main() {
 		reqLogger = nil
 	}
 	handler := server.NewWithConfig(reqLogger, server.Config{
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *reqTimeout,
-		MaxBodyBytes:   *maxBody,
-		DisableMetrics: !*metricsOn,
-		EnablePprof:    *pprofOn,
+		MaxInFlight:        *maxInFlight,
+		RequestTimeout:     *reqTimeout,
+		MaxBodyBytes:       *maxBody,
+		PreparedCacheBytes: *preparedCache,
+		DisableMetrics:     !*metricsOn,
+		EnablePprof:        *pprofOn,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

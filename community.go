@@ -28,6 +28,25 @@ type Community struct {
 // Size returns the number of subscribers.
 func (c *Community) Size() int { return len(c.Users) }
 
+// Clone returns a deep copy of the community: the user vectors are
+// copied into fresh storage, so mutating the original (or the clone)
+// afterwards cannot affect the other. Stores that accept communities
+// from callers clone on ingest to cut every external alias.
+func (c *Community) Clone() *Community {
+	total := 0
+	for _, u := range c.Users {
+		total += len(u)
+	}
+	backing := make([]int32, 0, total)
+	users := make([]Vector, len(c.Users))
+	for i, u := range c.Users {
+		start := len(backing)
+		backing = append(backing, u...)
+		users[i] = backing[start:len(backing):len(backing)]
+	}
+	return &Community{Name: c.Name, Category: c.Category, Users: users}
+}
+
 // Dim returns the profile dimensionality (0 for an empty community).
 func (c *Community) Dim() int {
 	if len(c.Users) == 0 {

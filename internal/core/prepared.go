@@ -75,6 +75,27 @@ func (p *Prepared) Community() *vector.Community { return p.comm }
 // Size returns the community size.
 func (p *Prepared) Size() int { return p.comm.Size() }
 
+// Footprint approximates the resident size of the prepared community in
+// bytes: the user vectors plus both cached encodings and the flat scan
+// views. Byte-capped caches use it for eviction accounting; it counts
+// backing arrays and per-entry struct overhead but not allocator slack.
+func (p *Prepared) Footprint() int64 {
+	const (
+		sliceHeader = 24 // ptr + len + cap
+		bEntrySize  = 40 // ID + Parts header + Ref, padded
+		aEntrySize  = 72 // Min + Max + two range headers + Ref, padded
+	)
+	var n int64
+	for _, u := range p.comm.Users {
+		n += sliceHeader + int64(len(u))*4
+	}
+	parts := int64(p.layout.Parts())
+	n += int64(len(p.bb.Entries)) * (bEntrySize + parts*8)
+	n += int64(len(p.ab.Entries)) * (aEntrySize + 2*parts*8)
+	n += int64(len(p.bid)+len(p.amin)+len(p.amax)) * 8
+	return n
+}
+
 // compatible checks that two prepared communities can be joined.
 func compatible(b, a *Prepared) error {
 	if b.comm.Dim() != a.comm.Dim() {

@@ -58,6 +58,38 @@ func TestErrorStatusMapping(t *testing.T) {
 	}
 }
 
+// TestErrorMalformedPathID: a {id} segment that is not an integer is a
+// syntactically bad request (400), distinct from a well-formed id that
+// simply does not exist (404). Previously both fell through to 404.
+func TestErrorMalformedPathID(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		want   int
+	}{
+		{"get community bad id", "GET", "/communities/notanumber", http.StatusBadRequest},
+		{"get community float id", "GET", "/communities/1.5", http.StatusBadRequest},
+		{"get community overflow id", "GET", "/communities/99999999999999999999", http.StatusBadRequest},
+		{"delete community bad id", "DELETE", "/communities/abc", http.StatusBadRequest},
+		{"get join bad id", "GET", "/joins/xyz", http.StatusBadRequest},
+		{"join users bad id", "POST", "/joins/xyz/users", http.StatusBadRequest},
+		{"get community missing id", "GET", "/communities/424242", http.StatusNotFound},
+		{"delete community missing id", "DELETE", "/communities/424242", http.StatusNotFound},
+		{"get join missing id", "GET", "/joins/424242", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body any
+			if tc.method == "POST" {
+				body = JoinUserRequest{Side: "B", Vector: []int32{1}}
+			}
+			doJSON(t, tc.method, ts.URL+tc.path, body, tc.want, nil)
+		})
+	}
+}
+
 // TestErrorMalformedJSONIs400 covers the decode path shared by every
 // POST endpoint.
 func TestErrorMalformedJSONIs400(t *testing.T) {

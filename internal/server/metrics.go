@@ -8,6 +8,7 @@ import (
 	csj "github.com/opencsj/csj"
 	"github.com/opencsj/csj/internal/core"
 	"github.com/opencsj/csj/internal/metrics"
+	"github.com/opencsj/csj/internal/store"
 )
 
 // This file is the observability layer of the HTTP service (DESIGN.md
@@ -48,7 +49,7 @@ type serverMetrics struct {
 	// routes maps a registered mux pattern ("POST /similarity") to its
 	// instruments; fallthrough covers requests no route matched (404s,
 	// bad methods).
-	routes      map[string]*routeMetrics
+	routes    map[string]*routeMetrics
 	unmatched *routeMetrics
 
 	inflight *metrics.Gauge
@@ -59,6 +60,16 @@ type serverMetrics struct {
 	poolStages      *metrics.Counter
 	poolTasks       *metrics.Counter
 	poolUtilization *metrics.Histogram
+
+	// Prepared-view cache series (DESIGN.md §10), fed by the community
+	// store through the store.Observer interface.
+	cacheHits         *metrics.Counter
+	cacheMisses       *metrics.Counter
+	cacheBuilds       *metrics.Counter
+	cacheBuildSeconds *metrics.Histogram
+	cacheEvictedBytes *metrics.Counter
+	cacheBytes        *metrics.Gauge
+	cacheEntries      *metrics.Gauge
 }
 
 func newServerMetrics() *serverMetrics {
@@ -79,6 +90,20 @@ func newServerMetrics() *serverMetrics {
 		poolUtilization: reg.Histogram("csj_batch_pool_utilization_ratio",
 			"Per-stage worker utilization: busy worker-seconds over wall-clock times pool size (1.0 = no idle tails).",
 			nil, metrics.LinearBuckets(0.1, 0.1, 10)),
+		cacheHits: reg.Counter("csj_prepared_cache_hits_total",
+			"Prepared-view cache hits: joins served from an already-encoded view.", nil),
+		cacheMisses: reg.Counter("csj_prepared_cache_misses_total",
+			"Prepared-view cache misses: requests that found no view and triggered a build.", nil),
+		cacheBuilds: reg.Counter("csj_prepared_cache_builds_total",
+			"Prepared-view builds executed (concurrent misses for one view share a single build).", nil),
+		cacheBuildSeconds: reg.Histogram("csj_prepared_cache_build_seconds",
+			"Duration of prepared-view builds (MinMax encodings).", nil, nil),
+		cacheEvictedBytes: reg.Counter("csj_prepared_cache_evicted_bytes_total",
+			"Bytes evicted from the prepared-view cache (LRU pressure or invalidation on delete).", nil),
+		cacheBytes: reg.Gauge("csj_prepared_cache_bytes",
+			"Approximate resident bytes of the prepared-view cache.", nil),
+		cacheEntries: reg.Gauge("csj_prepared_cache_entries",
+			"Views resident in the prepared-view cache.", nil),
 	}
 	m.unmatched = m.route("other", "other")
 	return m
@@ -126,6 +151,31 @@ func (m *serverMetrics) observePoolStats(ps csj.PoolStats) {
 	}
 	m.poolTasks.Add(tasks)
 	m.poolUtilization.Observe(ps.Utilization())
+}
+
+// serverMetrics implements store.Observer, so the community store's
+// prepared-view cache feeds the csj_prepared_cache_* series directly.
+// The callbacks fire concurrently from request goroutines; every
+// instrument underneath is atomic.
+var _ store.Observer = (*serverMetrics)(nil)
+
+func (m *serverMetrics) CacheHit()  { m.cacheHits.Inc() }
+func (m *serverMetrics) CacheMiss() { m.cacheMisses.Inc() }
+
+func (m *serverMetrics) CacheBuild(d time.Duration) {
+	m.cacheBuilds.Inc()
+	m.cacheBuildSeconds.Observe(d.Seconds())
+}
+
+func (m *serverMetrics) CacheStored(bytes int64) {
+	m.cacheBytes.Add(bytes)
+	m.cacheEntries.Inc()
+}
+
+func (m *serverMetrics) CacheEvicted(bytes int64) {
+	m.cacheEvictedBytes.Add(bytes)
+	m.cacheBytes.Add(-bytes)
+	m.cacheEntries.Dec()
 }
 
 // instrument attaches the join observers of the heavy endpoints to a

@@ -141,16 +141,20 @@ func TestMetricsMatrixFeedsPoolAndScanCounters(t *testing.T) {
 		t.Fatalf("got %d cells, want 6", len(cells))
 	}
 	m := scrapeMetrics(t, ts)
-	// Two pool stages ran (matrix/prepare + matrix/cells): 4
-	// preparations and 6 cells = 10 tasks.
-	if got := m["csj_batch_pool_stages_total"]; got != 2 {
-		t.Errorf("pool stages = %v, want 2", got)
+	// One pool stage ran: the community store serves prepared views off
+	// its cache, so the matrix has no prepare stage — just the 6 cells.
+	if got := m["csj_batch_pool_stages_total"]; got != 1 {
+		t.Errorf("pool stages = %v, want 1", got)
 	}
-	if got := m["csj_batch_pool_tasks_total"]; got != 10 {
-		t.Errorf("pool tasks = %v, want 10", got)
+	if got := m["csj_batch_pool_tasks_total"]; got != 6 {
+		t.Errorf("pool tasks = %v, want 6", got)
 	}
-	if got := m[`csj_batch_pool_utilization_ratio_count`]; got != 2 {
-		t.Errorf("utilization observations = %v, want 2", got)
+	if got := m[`csj_batch_pool_utilization_ratio_count`]; got != 1 {
+		t.Errorf("utilization observations = %v, want 1", got)
+	}
+	// The store encoded each community exactly once, on first use.
+	if got := m["csj_prepared_cache_builds_total"]; got != 4 {
+		t.Errorf("prepared-view builds = %v, want 4", got)
 	}
 	// The matrix cells each completed a join whose events were observed.
 	var comparisons float64
@@ -232,5 +236,65 @@ func TestPprofGatedByConfig(t *testing.T) {
 	}
 	if len(body) == 0 {
 		t.Error("pprof cmdline returned an empty body")
+	}
+}
+
+// TestMetricsPreparedCacheZeroRebuildAfterWarmup is the acceptance
+// check for the versioned store: after a warmup /matrix has populated
+// the prepared-view cache, repeated /matrix calls over the same
+// communities perform ZERO further core.Prepare work — every view is a
+// cache hit — and return identical cells.
+func TestMetricsPreparedCacheZeroRebuildAfterWarmup(t *testing.T) {
+	ts := newTestServer(t)
+	rng := rand.New(rand.NewSource(6))
+	ids := make([]int64, 4)
+	for i := range ids {
+		ids[i] = uploadCommunity(t, ts, fmt.Sprintf("w%d", i), randUsers(rng, 30, 6, 20))
+	}
+	matrix := func() []MatrixCell {
+		var cells []MatrixCell
+		doJSON(t, "POST", ts.URL+"/matrix",
+			MatrixRequest{Communities: ids, Options: OptionsPayload{Epsilon: 3}},
+			http.StatusOK, &cells)
+		if len(cells) != 6 {
+			t.Fatalf("got %d cells, want 6", len(cells))
+		}
+		for i := range cells {
+			cells[i].ElapsedMS = 0
+		}
+		return cells
+	}
+
+	warm := matrix()
+	m := scrapeMetrics(t, ts)
+	if m["csj_prepared_cache_builds_total"] != 4 || m["csj_prepared_cache_misses_total"] != 4 {
+		t.Fatalf("warmup builds/misses = %v/%v, want 4/4",
+			m["csj_prepared_cache_builds_total"], m["csj_prepared_cache_misses_total"])
+	}
+	if m["csj_prepared_cache_entries"] != 4 || m["csj_prepared_cache_bytes"] <= 0 {
+		t.Errorf("resident entries/bytes = %v/%v, want 4 entries with positive bytes",
+			m["csj_prepared_cache_entries"], m["csj_prepared_cache_bytes"])
+	}
+	hitsAfterWarm := m["csj_prepared_cache_hits_total"]
+
+	for run := 0; run < 2; run++ {
+		got := matrix()
+		for i := range got {
+			if got[i] != warm[i] {
+				t.Fatalf("run %d cell %d = %+v, want %+v (cache must not change answers)",
+					run, i, got[i], warm[i])
+			}
+		}
+	}
+	m = scrapeMetrics(t, ts)
+	if m["csj_prepared_cache_builds_total"] != 4 || m["csj_prepared_cache_misses_total"] != 4 {
+		t.Errorf("post-warmup builds/misses = %v/%v, want unchanged 4/4 (zero rebuilds)",
+			m["csj_prepared_cache_builds_total"], m["csj_prepared_cache_misses_total"])
+	}
+	if got, want := m["csj_prepared_cache_hits_total"], hitsAfterWarm+8; got != want {
+		t.Errorf("hits = %v, want %v (2 warm runs x 4 views)", got, want)
+	}
+	if m["csj_prepared_cache_build_seconds_count"] != 4 {
+		t.Errorf("build duration observations = %v, want 4", m["csj_prepared_cache_build_seconds_count"])
 	}
 }

@@ -37,6 +37,10 @@ type Config struct {
 	// MaxBodyBytes caps every request body; larger uploads get 413.
 	// 0 selects DefaultMaxBodyBytes; negative disables the cap.
 	MaxBodyBytes int64
+	// PreparedCacheBytes caps the community store's prepared-view cache
+	// (approximate resident bytes, see DESIGN.md §10). 0 selects
+	// DefaultPreparedCacheBytes; negative removes the cap.
+	PreparedCacheBytes int64
 	// DisableMetrics turns off the observability layer: no /metrics
 	// endpoint, no per-endpoint instrumentation, no scan-event counters.
 	// Collection is a few atomic adds per request, so the default is on.
@@ -54,6 +58,11 @@ const (
 	// the largest legitimate payload: ~100k users × 27 dims fit well
 	// within this).
 	DefaultMaxBodyBytes = 32 << 20
+	// DefaultPreparedCacheBytes caps the prepared-view cache. A view's
+	// footprint is roughly 3–4× its community's raw vector bytes, so
+	// 256 MiB holds several hundred 100k-user × 27-dim communities'
+	// views — plenty for the working set while bounding resident memory.
+	DefaultPreparedCacheBytes = 256 << 20
 )
 
 // DefaultMaxInFlight is the default heavy-request admission limit:
@@ -72,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.PreparedCacheBytes == 0 {
+		c.PreparedCacheBytes = DefaultPreparedCacheBytes
 	}
 	return c
 }

@@ -6,16 +6,17 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/store"
 )
 
 // Server is the HTTP handler. Create one with New or NewWithConfig; it
@@ -31,12 +32,14 @@ type Server struct {
 	// Config.DisableMetrics is set, which turns every observation into
 	// a no-op.
 	metrics *serverMetrics
+	// store owns the communities (DESIGN.md §10): immutable deep-copied
+	// entries, copy-on-write snapshots, and the shared prepared-view
+	// cache that makes repeated joins zero-rebuild.
+	store *store.Store
 
-	mu          sync.RWMutex
-	communities map[int64]*csj.Community
-	joins       map[int64]*joinState
-	nextComm    int64
-	nextJoin    int64
+	mu       sync.RWMutex // guards joins and nextJoin only
+	joins    map[int64]*joinState
+	nextJoin int64
 }
 
 type joinState struct {
@@ -56,11 +59,10 @@ func New(logger *log.Logger) *Server {
 // Config for the zero/negative conventions).
 func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 	s := &Server{
-		mux:         http.NewServeMux(),
-		log:         logger,
-		cfg:         cfg.withDefaults(),
-		communities: make(map[int64]*csj.Community),
-		joins:       make(map[int64]*joinState),
+		mux:   http.NewServeMux(),
+		log:   logger,
+		cfg:   cfg.withDefaults(),
+		joins: make(map[int64]*joinState),
 	}
 	if s.cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, s.cfg.MaxInFlight)
@@ -68,6 +70,17 @@ func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 	if !s.cfg.DisableMetrics {
 		s.metrics = newServerMetrics()
 	}
+	cacheBytes := s.cfg.PreparedCacheBytes
+	if cacheBytes < 0 {
+		cacheBytes = 0 // store convention: <= 0 removes the cap
+	}
+	// The interface value must stay nil when metrics are off; a typed
+	// nil *serverMetrics would pass the store's nil checks and panic.
+	var obs store.Observer
+	if s.metrics != nil {
+		obs = s.metrics
+	}
+	s.store = store.New(store.Config{MaxCacheBytes: cacheBytes, Observer: obs})
 	s.handle("GET /healthz", s.handleHealth)
 	s.handle("POST /communities", s.handleCreateCommunity)
 	s.handle("GET /communities", s.handleListCommunities)
@@ -315,73 +328,117 @@ func (s *Server) handleCreateCommunity(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("invalid community: %w", err))
 		return
 	}
-	s.mu.Lock()
-	s.nextComm++
-	id := s.nextComm
-	s.communities[id] = c
-	s.mu.Unlock()
-	s.writeJSON(w, http.StatusCreated, s.info(id, c))
+	// The store deep-copies on ingest, so the decoder's slices (and any
+	// caller still holding them) can never mutate the stored community.
+	e := s.store.Create(c)
+	s.writeJSON(w, http.StatusCreated, info(e))
 }
 
-func (s *Server) info(id int64, c *csj.Community) CommunityInfo {
-	return CommunityInfo{ID: id, Name: c.Name, Category: c.Category, Size: c.Size(), Dim: c.Dim()}
+func info(e *store.Entry) CommunityInfo {
+	c := e.Comm
+	return CommunityInfo{ID: e.ID, Name: c.Name, Category: c.Category, Size: c.Size(), Dim: c.Dim()}
 }
 
 func (s *Server) handleListCommunities(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	out := make([]CommunityInfo, 0, len(s.communities))
-	for id, c := range s.communities {
-		out = append(out, s.info(id, c))
+	entries := s.store.Snapshot().List() // ascending id: deterministic for clients
+	out := make([]CommunityInfo, len(entries))
+	for i, e := range entries {
+		out[i] = info(e)
 	}
-	s.mu.RUnlock()
-	// Deterministic order for clients.
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) community(r *http.Request) (int64, *csj.Community, error) {
-	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+// errMalformedID marks an {id} path value that failed to parse. The
+// handlers map it to 400: the request is syntactically wrong, unlike a
+// well-formed id that is merely absent (404).
+var errMalformedID = errors.New("malformed id in path")
+
+// pathID parses the {id} path value, wrapping parse failures in
+// errMalformedID so writeLookupErr can distinguish them from misses.
+func pathID(r *http.Request, what string) (int64, error) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil {
-		return 0, nil, fmt.Errorf("bad community id: %w", err)
+		return 0, fmt.Errorf("bad %s id %q: %w", what, raw, errMalformedID)
 	}
-	s.mu.RLock()
-	c := s.communities[id]
-	s.mu.RUnlock()
-	if c == nil {
-		return id, nil, fmt.Errorf("no community %d", id)
+	return id, nil
+}
+
+// writeLookupErr maps a path-resolution failure: 400 for a malformed
+// id, 404 for a genuinely missing resource.
+func (s *Server) writeLookupErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, errMalformedID) {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
 	}
-	return id, c, nil
+	s.writeErr(w, http.StatusNotFound, err)
+}
+
+func (s *Server) community(r *http.Request) (*store.Entry, error) {
+	id, err := pathID(r, "community")
+	if err != nil {
+		return nil, err
+	}
+	e, ok := s.store.Snapshot().Get(id)
+	if !ok {
+		return nil, fmt.Errorf("no community %d", id)
+	}
+	return e, nil
 }
 
 func (s *Server) handleGetCommunity(w http.ResponseWriter, r *http.Request) {
-	id, c, err := s.community(r)
+	e, err := s.community(r)
 	if err != nil {
-		s.writeErr(w, http.StatusNotFound, err)
+		s.writeLookupErr(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.info(id, c))
+	s.writeJSON(w, http.StatusOK, info(e))
 }
 
 func (s *Server) handleDeleteCommunity(w http.ResponseWriter, r *http.Request) {
-	id, _, err := s.community(r)
+	id, err := pathID(r, "community")
 	if err != nil {
-		s.writeErr(w, http.StatusNotFound, err)
+		s.writeLookupErr(w, err)
 		return
 	}
-	s.mu.Lock()
-	delete(s.communities, id)
-	s.mu.Unlock()
+	// Delete atomically checks existence, publishes the new snapshot,
+	// and invalidates the community's cached views; in-flight joins keep
+	// their pre-delete snapshots and finish consistently.
+	if !s.store.Delete(id) {
+		s.writeLookupErr(w, fmt.Errorf("no community %d", id))
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) lookup(id int64) (*csj.Community, error) {
-	s.mu.RLock()
-	c := s.communities[id]
-	s.mu.RUnlock()
-	if c == nil {
+// lookup resolves a community in the snapshot the request joins
+// against, so every id of one request sees the same store state.
+func lookup(snap *store.Snapshot, id int64) (*store.Entry, error) {
+	e, ok := snap.Get(id)
+	if !ok {
 		return nil, fmt.Errorf("no community %d", id)
 	}
-	return c, nil
+	return e, nil
+}
+
+// minMaxMethod reports whether the method runs on prepared MinMax
+// views — the methods the store's view cache serves.
+func minMaxMethod(m csj.Method) bool {
+	return m == csj.ApMinMax || m == csj.ExMinMax
+}
+
+// preparedViews resolves one cached view per id from the snapshot,
+// building (or joining an in-flight build of) any that are missing.
+func preparedViews(snap *store.Snapshot, ids []int64, opts *csj.Options) ([]*csj.PreparedCommunity, error) {
+	out := make([]*csj.PreparedCommunity, len(ids))
+	for i, id := range ids {
+		pc, err := snap.Prepared(id, opts.Epsilon, opts.Parts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pc
+	}
+	return out, nil
 }
 
 func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
@@ -389,12 +446,13 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	b, err := s.lookup(req.B)
+	snap := s.store.Snapshot()
+	b, err := lookup(snap, req.B)
 	if err != nil {
 		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	a, err := s.lookup(req.A)
+	a, err := lookup(snap, req.A)
 	if err != nil {
 		s.writeErr(w, http.StatusNotFound, err)
 		return
@@ -409,10 +467,22 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Orient {
-		b, a = csj.Orient(b, a)
+	if req.Orient && b.Comm.Size() > a.Comm.Size() {
+		b, a = a, b // smaller community becomes B; ties keep input order
 	}
-	res, err := csj.SimilarityCtx(r.Context(), b, a, method, s.instrumentOptions(opts))
+	var res *csj.Result
+	if minMaxMethod(method) {
+		// MinMax joins run on cached prepared views: after warmup,
+		// repeated requests over stored communities re-encode nothing.
+		views, verr := preparedViews(snap, []int64{b.ID, a.ID}, opts)
+		if verr != nil {
+			s.writeJoinErr(w, r, verr)
+			return
+		}
+		res, err = csj.SimilarityPreparedCtx(r.Context(), views[0], views[1], method, s.instrumentOptions(opts))
+	} else {
+		res, err = csj.SimilarityCtx(r.Context(), b.Comm, a.Comm, method, s.instrumentOptions(opts))
+	}
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
@@ -437,14 +507,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	pivot, err := s.lookup(req.Pivot)
+	snap := s.store.Snapshot()
+	pivot, err := lookup(snap, req.Pivot)
 	if err != nil {
 		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	cands := make([]*csj.Community, len(req.Candidates))
-	for i, id := range req.Candidates {
-		if cands[i], err = s.lookup(id); err != nil {
+	for _, id := range req.Candidates {
+		if _, err := lookup(snap, id); err != nil {
 			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
@@ -459,7 +529,26 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ranked, err := csj.RankCtx(r.Context(), pivot, cands, method, s.instrumentOptions(opts))
+	var ranked []csj.Ranked
+	if minMaxMethod(method) {
+		pv, verr := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
+		var views []*csj.PreparedCommunity
+		if verr == nil {
+			views, verr = preparedViews(snap, req.Candidates, opts)
+		}
+		if verr != nil {
+			s.writeJoinErr(w, r, verr)
+			return
+		}
+		ranked, err = csj.RankPreparedCtx(r.Context(), pv, views, method, s.instrumentOptions(opts))
+	} else {
+		cands := make([]*csj.Community, len(req.Candidates))
+		for i, id := range req.Candidates {
+			e, _ := snap.Get(id) // presence checked above; same snapshot
+			cands[i] = e.Comm
+		}
+		ranked, err = csj.RankCtx(r.Context(), pivot.Comm, cands, method, s.instrumentOptions(opts))
+	}
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
@@ -482,14 +571,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	pivot, err := s.lookup(req.Pivot)
+	snap := s.store.Snapshot()
+	pivot, err := lookup(snap, req.Pivot)
 	if err != nil {
 		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	cands := make([]*csj.Community, len(req.Candidates))
-	for i, id := range req.Candidates {
-		if cands[i], err = s.lookup(id); err != nil {
+	for _, id := range req.Candidates {
+		if _, err := lookup(snap, id); err != nil {
 			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
@@ -499,7 +588,18 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	top, err := csj.TopKCtx(r.Context(), pivot, cands, req.K, s.instrumentOptions(opts))
+	// Both top-k phases are MinMax joins, so the whole workflow runs on
+	// cached views.
+	pv, err := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
+	var views []*csj.PreparedCommunity
+	if err == nil {
+		views, err = preparedViews(snap, req.Candidates, opts)
+	}
+	if err != nil {
+		s.writeJoinErr(w, r, err)
+		return
+	}
+	top, err := csj.TopKPreparedCtx(r.Context(), pv, views, req.K, s.instrumentOptions(opts))
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
@@ -530,14 +630,12 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("matrix needs at least 2 communities, got %d", len(req.Communities)))
 		return
 	}
-	comms := make([]*csj.Community, len(req.Communities))
-	for i, id := range req.Communities {
-		c, err := s.lookup(id)
-		if err != nil {
+	snap := s.store.Snapshot()
+	for _, id := range req.Communities {
+		if _, err := lookup(snap, id); err != nil {
 			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
-		comms[i] = c
 	}
 	if req.Method == "" {
 		req.Method = "exminmax"
@@ -552,7 +650,14 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	entries, err := csj.SimilarityMatrixCtx(r.Context(), comms, method, s.instrumentOptions(opts))
+	// The matrix is MinMax-only; the cells run straight on cached views,
+	// so a warmed-up matrix performs zero core.Prepare calls.
+	views, err := preparedViews(snap, req.Communities, opts)
+	if err != nil {
+		s.writeJoinErr(w, r, err)
+		return
+	}
+	entries, err := csj.SimilarityMatrixPreparedCtx(r.Context(), views, method, s.instrumentOptions(opts))
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
@@ -593,9 +698,9 @@ func (s *Server) handleCreateJoin(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) joinState(r *http.Request) (int64, *joinState, error) {
-	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	id, err := pathID(r, "join")
 	if err != nil {
-		return 0, nil, fmt.Errorf("bad join id: %w", err)
+		return 0, nil, err
 	}
 	s.mu.RLock()
 	st := s.joins[id]
@@ -623,7 +728,7 @@ func joinInfo(id int64, st *joinState) JoinInfo {
 func (s *Server) handleGetJoin(w http.ResponseWriter, r *http.Request) {
 	id, st, err := s.joinState(r)
 	if err != nil {
-		s.writeErr(w, http.StatusNotFound, err)
+		s.writeLookupErr(w, err)
 		return
 	}
 	st.mu.Lock()
@@ -635,7 +740,7 @@ func (s *Server) handleGetJoin(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJoinAddUser(w http.ResponseWriter, r *http.Request) {
 	id, st, err := s.joinState(r)
 	if err != nil {
-		s.writeErr(w, http.StatusNotFound, err)
+		s.writeLookupErr(w, err)
 		return
 	}
 	var req JoinUserRequest
@@ -664,7 +769,7 @@ func (s *Server) handleJoinAddUser(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJoinRemoveUser(w http.ResponseWriter, r *http.Request) {
 	id, st, err := s.joinState(r)
 	if err != nil {
-		s.writeErr(w, http.StatusNotFound, err)
+		s.writeLookupErr(w, err)
 		return
 	}
 	uid, err := strconv.Atoi(r.PathValue("uid"))

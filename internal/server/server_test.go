@@ -100,7 +100,8 @@ func TestCommunityCRUD(t *testing.T) {
 	doJSON(t, "DELETE", fmt.Sprintf("%s/communities/%d", ts.URL, id1), nil, http.StatusNoContent, nil)
 	doJSON(t, "GET", fmt.Sprintf("%s/communities/%d", ts.URL, id1), nil, http.StatusNotFound, nil)
 	doJSON(t, "DELETE", fmt.Sprintf("%s/communities/%d", ts.URL, id1), nil, http.StatusNotFound, nil)
-	doJSON(t, "GET", ts.URL+"/communities/notanumber", nil, http.StatusNotFound, nil)
+	// A malformed id is a syntactically bad request, not a miss.
+	doJSON(t, "GET", ts.URL+"/communities/notanumber", nil, http.StatusBadRequest, nil)
 }
 
 func TestCreateCommunityRejectsInvalid(t *testing.T) {

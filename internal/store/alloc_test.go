@@ -1,0 +1,102 @@
+//go:build !race
+
+// The store-overhead guard (`make storeguard`, mirroring metricsguard):
+// the cache-hit prepared Ap path must stay 0 allocs/op end to end —
+// snapshot load, two view lookups, and the scratch'd join through the
+// public csj.SimilarityPreparedInto API. The hit path is a map lookup,
+// an LRU move, an atomic add, and a receive on a closed channel; none
+// of it may allocate. Skipped under -race because the detector's
+// instrumentation inflates allocation counts (same convention as
+// internal/metrics' alloc guard).
+
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	csj "github.com/opencsj/csj"
+)
+
+func TestStoreCacheHitPreparedApZeroAllocs(t *testing.T) {
+	st := New(Config{})
+	rng := rand.New(rand.NewSource(42))
+	b := st.Create(testCommunity("b", rng, 96, 8))
+	a := st.Create(testCommunity("a", rng, 128, 8))
+
+	const eps = 2
+	opts := &csj.Options{Epsilon: eps}
+	sc := csj.NewScratch()
+	var res csj.Result
+
+	// Warm: build both views and grow the scratch to steady state.
+	warm := func() {
+		snap := st.Snapshot()
+		vb, err := snap.Prepared(b.ID, eps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, err := snap.Prepared(a.ID, eps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := csj.SimilarityPreparedInto(vb, va, csj.ApMinMax, opts, sc, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		snap := st.Snapshot()
+		vb, err := snap.Prepared(b.ID, eps, 0)
+		if err != nil {
+			panic(err)
+		}
+		va, err := snap.Prepared(a.ID, eps, 0)
+		if err != nil {
+			panic(err)
+		}
+		if err := csj.SimilarityPreparedInto(vb, va, csj.ApMinMax, opts, sc, &res); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache-hit prepared Ap path allocates %.1f allocs/op, want 0", allocs)
+	}
+	if len(res.Pairs) == 0 && res.Events.Comparisons() == 0 {
+		t.Fatal("guard join did no work; test data is degenerate")
+	}
+	cs := st.CacheStats()
+	if cs.Builds != 2 {
+		t.Errorf("builds = %d across the guard loop, want 2 (warmup only)", cs.Builds)
+	}
+}
+
+// BenchmarkStoreCacheHitPreparedAp keeps an allocation-reporting
+// benchmark alongside the hard guard so regressions show magnitude.
+func BenchmarkStoreCacheHitPreparedAp(b *testing.B) {
+	st := New(Config{})
+	rng := rand.New(rand.NewSource(42))
+	cb := st.Create(testCommunity("b", rng, 96, 8))
+	ca := st.Create(testCommunity("a", rng, 128, 8))
+	const eps = 2
+	opts := &csj.Options{Epsilon: eps}
+	sc := csj.NewScratch()
+	var res csj.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := st.Snapshot()
+		vb, err := snap.Prepared(cb.ID, eps, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		va, err := snap.Prepared(ca.ID, eps, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := csj.SimilarityPreparedInto(vb, va, csj.ApMinMax, opts, sc, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

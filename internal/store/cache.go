@@ -1,0 +1,258 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/encoding"
+)
+
+// Observer receives prepared-view cache lifecycle events. The server's
+// metrics registry implements it; a nil observer disables observation.
+type Observer interface {
+	// CacheHit fires when a request finds its view already present
+	// (ready or still building — it still shares the one build).
+	CacheHit()
+	// CacheMiss fires when a request finds no view and starts a build.
+	CacheMiss()
+	// CacheBuild fires once per executed core.Prepare with its duration.
+	CacheBuild(d time.Duration)
+	// CacheStored fires when a built view is inserted, with its
+	// footprint. Stale builds (community deleted mid-build) never store.
+	CacheStored(bytes int64)
+	// CacheEvicted fires when a view leaves the cache (LRU pressure or
+	// invalidation on delete), with its footprint.
+	CacheEvicted(bytes int64)
+}
+
+// CacheStats is a point-in-time read of the cache counters.
+type CacheStats struct {
+	Hits         int64
+	Misses       int64
+	Builds       int64
+	Evictions    int64
+	EvictedBytes int64
+	Bytes        int64
+	Entries      int
+}
+
+// viewKey identifies one prepared view: a community at a specific
+// version under specific encoding options. parts is stored normalized
+// (0 resolves to the encoder default clamped to the dimensionality), so
+// requests that spell the default differently share one view.
+type viewKey struct {
+	id      int64
+	version uint64
+	eps     int32
+	parts   int
+}
+
+// view is one cache slot. ready closes when the build finishes; until
+// then pc and err must not be read. elem is non-nil iff the view is
+// resident in the LRU list.
+type view struct {
+	key   viewKey
+	ready chan struct{}
+	pc    *csj.PreparedCommunity
+	err   error
+	bytes int64
+	elem  *list.Element
+}
+
+// cache is the epsilon+parts-keyed prepared-view cache with
+// singleflight build deduplication and LRU byte-capped eviction.
+type cache struct {
+	maxBytes int64
+	obs      Observer
+
+	hits, misses, builds    atomic.Int64
+	evictions, evictedBytes atomic.Int64
+
+	mu    sync.Mutex
+	views map[viewKey]*view
+	lru   *list.List // front = most recently used; resident views only
+	bytes int64
+	// live maps community id to its current version; a build that
+	// finishes after its community was deleted (or the id vanished) is
+	// handed to its waiters but never inserted.
+	live map[int64]uint64
+
+	// buildHook, when set, runs after miss bookkeeping and before the
+	// build, outside the lock. Test seam for deterministic singleflight
+	// and stale-build scenarios.
+	buildHook func(k viewKey)
+}
+
+func newCache(maxBytes int64, obs Observer) *cache {
+	return &cache{
+		maxBytes: maxBytes,
+		obs:      obs,
+		views:    map[viewKey]*view{},
+		lru:      list.New(),
+		live:     map[int64]uint64{},
+	}
+}
+
+// normParts resolves the parts option the same way the encoder does, so
+// the cache key is canonical: 0 selects the default, and anything above
+// the dimensionality clamps down to it.
+func normParts(parts, dim int) int {
+	if parts == 0 {
+		parts = encoding.DefaultParts
+	}
+	if parts > dim {
+		parts = dim
+	}
+	return parts
+}
+
+// setLive records id's current version. Called under the store's
+// mutation lock on create.
+func (c *cache) setLive(id int64, version uint64) {
+	c.mu.Lock()
+	c.live[id] = version
+	c.mu.Unlock()
+}
+
+// get returns the prepared view for entry e under (eps, parts),
+// building it if absent. Exactly one build runs per uncached key no
+// matter how many requests race; the others block on ready and share
+// the result. Build errors are returned to every waiter of that build
+// but not cached — the next request retries.
+func (c *cache) get(e *Entry, eps int32, parts int) (*csj.PreparedCommunity, error) {
+	k := viewKey{id: e.ID, version: e.Version, eps: eps, parts: normParts(parts, e.Comm.Dim())}
+	c.mu.Lock()
+	if v, ok := c.views[k]; ok {
+		if v.elem != nil {
+			c.lru.MoveToFront(v.elem)
+		}
+		c.hits.Add(1)
+		c.mu.Unlock()
+		if c.obs != nil {
+			c.obs.CacheHit()
+		}
+		<-v.ready
+		return v.pc, v.err
+	}
+	v := &view{key: k, ready: make(chan struct{})}
+	c.views[k] = v
+	c.misses.Add(1)
+	hook := c.buildHook
+	c.mu.Unlock()
+	if c.obs != nil {
+		c.obs.CacheMiss()
+	}
+	if hook != nil {
+		hook(k)
+	}
+
+	start := time.Now()
+	pc, err := csj.Precompute(e.Comm, &csj.Options{Epsilon: eps, Parts: parts})
+	elapsed := time.Since(start)
+	c.builds.Add(1)
+
+	c.mu.Lock()
+	v.pc, v.err = pc, err
+	close(v.ready)
+	if err != nil {
+		delete(c.views, k)
+		c.mu.Unlock()
+		if c.obs != nil {
+			c.obs.CacheBuild(elapsed)
+		}
+		return nil, err
+	}
+	stored := false
+	var evicted []*view
+	if c.live[k.id] == k.version {
+		v.bytes = pc.Footprint()
+		v.elem = c.lru.PushFront(v)
+		c.bytes += v.bytes
+		stored = true
+		evicted = c.evictLocked()
+	} else {
+		// The community was deleted while we were building: hand the
+		// view to the waiters but leave nothing behind in the cache.
+		delete(c.views, k)
+	}
+	c.mu.Unlock()
+	if c.obs != nil {
+		c.obs.CacheBuild(elapsed)
+		if stored {
+			c.obs.CacheStored(v.bytes)
+		}
+		for _, ev := range evicted {
+			c.obs.CacheEvicted(ev.bytes)
+		}
+	}
+	return pc, nil
+}
+
+// evictLocked drops views from the LRU back until the cache fits the
+// byte cap again. The most recently used view always stays resident, so
+// one oversized view is served rather than rebuilt forever.
+func (c *cache) evictLocked() []*view {
+	if c.maxBytes <= 0 {
+		return nil
+	}
+	var out []*view
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		v := c.lru.Back().Value.(*view)
+		c.removeLocked(v)
+		out = append(out, v)
+	}
+	return out
+}
+
+// removeLocked unlinks a resident view and updates the byte accounting.
+func (c *cache) removeLocked(v *view) {
+	delete(c.views, v.key)
+	c.lru.Remove(v.elem)
+	v.elem = nil
+	c.bytes -= v.bytes
+	c.evictions.Add(1)
+	c.evictedBytes.Add(v.bytes)
+}
+
+// invalidate drops every resident view of community id and forgets its
+// live version, so in-flight builds for it are discarded on completion.
+// Called under the store's mutation lock on delete.
+func (c *cache) invalidate(id int64) {
+	c.mu.Lock()
+	delete(c.live, id)
+	var dropped []*view
+	for k, v := range c.views {
+		if k.id != id || v.elem == nil {
+			// elem == nil means the build is still in flight; the live
+			// check at completion discards it.
+			continue
+		}
+		c.removeLocked(v)
+		dropped = append(dropped, v)
+	}
+	c.mu.Unlock()
+	if c.obs != nil {
+		for _, v := range dropped {
+			c.obs.CacheEvicted(v.bytes)
+		}
+	}
+}
+
+// stats snapshots the counters and occupancy.
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	bytes, entries := c.bytes, c.lru.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Builds:       c.builds.Load(),
+		Evictions:    c.evictions.Load(),
+		EvictedBytes: c.evictedBytes.Load(),
+		Bytes:        bytes,
+		Entries:      entries,
+	}
+}

@@ -1,0 +1,162 @@
+// Package store owns the communities behind the HTTP service: an
+// in-memory Store of immutable, deep-copied communities with
+// monotonically increasing versions, copy-on-write snapshots (a join
+// always runs against a consistent view even while concurrent creates
+// and deletes land), and a lazily built, epsilon+parts-keyed cache of
+// prepared MinMax views shared by every request (see cache.go). It
+// turns encoding into a once-per-(community, version, epsilon, parts)
+// cost amortized across all requests — "index once, probe many" — so
+// a warmed-up /matrix performs zero core.Prepare calls (DESIGN.md §10).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	csj "github.com/opencsj/csj"
+)
+
+// ErrUnknownCommunity reports a community id absent from a snapshot.
+var ErrUnknownCommunity = errors.New("store: unknown community")
+
+// Config parameterizes a Store.
+type Config struct {
+	// MaxCacheBytes caps the prepared-view cache's approximate resident
+	// bytes (csj.PreparedCommunity.Footprint accounting); <= 0 removes
+	// the cap. The most recently used view is never evicted, so a single
+	// view larger than the cap is served rather than thrashed.
+	MaxCacheBytes int64
+	// Observer receives cache lifecycle callbacks; nil disables
+	// observation. Callbacks fire concurrently from request goroutines
+	// and must be safe for concurrent use.
+	Observer Observer
+}
+
+// Entry is one stored community. Entries are immutable: the community
+// was deep-copied on ingest and must not be mutated by callers.
+type Entry struct {
+	// ID identifies the community; ids are never reused.
+	ID int64
+	// Version is the store-wide mutation counter value at ingest; it
+	// keys the prepared-view cache so a view can never outlive the
+	// community state it encodes.
+	Version uint64
+	// Comm is the deep-copied community.
+	Comm *csj.Community
+}
+
+// Store holds communities behind copy-on-write snapshots. All methods
+// are safe for concurrent use; reads (Snapshot) are wait-free.
+type Store struct {
+	cache *cache
+
+	mu      sync.Mutex // serializes mutations; never held by readers
+	nextID  int64
+	version uint64
+	snap    atomic.Pointer[Snapshot]
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	s := &Store{cache: newCache(cfg.MaxCacheBytes, cfg.Observer)}
+	s.snap.Store(&Snapshot{store: s, entries: map[int64]*Entry{}})
+	return s
+}
+
+// Create deep-copies the community into the store and returns its
+// entry. The caller keeps full ownership of c; later mutations of it
+// cannot reach the stored copy.
+func (s *Store) Create(c *csj.Community) *Entry {
+	clone := c.Clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.version++
+	e := &Entry{ID: s.nextID, Version: s.version, Comm: clone}
+	s.cache.setLive(e.ID, e.Version)
+	s.publishLocked(func(m map[int64]*Entry) { m[e.ID] = e })
+	return e
+}
+
+// Delete removes the community and invalidates its cached views.
+// Snapshots taken before the delete still see the entry (and may keep
+// joining it); only new snapshots observe the removal.
+func (s *Store) Delete(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.snap.Load().entries[id]; !ok {
+		return false
+	}
+	s.version++
+	s.cache.invalidate(id)
+	s.publishLocked(func(m map[int64]*Entry) { delete(m, id) })
+	return true
+}
+
+// publishLocked installs a new snapshot derived from the current one by
+// mutate. Callers must hold s.mu.
+func (s *Store) publishLocked(mutate func(map[int64]*Entry)) {
+	old := s.snap.Load()
+	m := make(map[int64]*Entry, len(old.entries)+1)
+	for k, v := range old.entries {
+		m[k] = v
+	}
+	mutate(m)
+	list := make([]*Entry, 0, len(m))
+	for _, e := range m {
+		list = append(list, e)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+	s.snap.Store(&Snapshot{store: s, entries: m, list: list})
+}
+
+// Snapshot returns the current consistent view. The snapshot never
+// changes after it is returned: concurrent creates and deletes publish
+// new snapshots instead of mutating this one, so a batch join can
+// resolve and join many communities from one snapshot without ever
+// seeing a half-applied mutation.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Len returns the number of stored communities.
+func (s *Store) Len() int { return len(s.snap.Load().entries) }
+
+// CacheStats returns the prepared-view cache's counters and occupancy.
+func (s *Store) CacheStats() CacheStats { return s.cache.stats() }
+
+// Snapshot is an immutable point-in-time view of the store.
+type Snapshot struct {
+	store   *Store
+	entries map[int64]*Entry
+	list    []*Entry // ascending ID
+}
+
+// Get returns the entry for id, if present.
+func (sn *Snapshot) Get(id int64) (*Entry, bool) {
+	e, ok := sn.entries[id]
+	return e, ok
+}
+
+// Len returns the number of communities in the snapshot.
+func (sn *Snapshot) Len() int { return len(sn.entries) }
+
+// List returns the entries in ascending id order. The slice is shared
+// by every caller of this snapshot and must not be mutated.
+func (sn *Snapshot) List() []*Entry { return sn.list }
+
+// Prepared returns the cached MinMax view of community id under the
+// given epsilon and parts (0 parts selects the encoder default),
+// building and caching it on first use. Concurrent requests for the
+// same uncached view share a single build. The view belongs to the
+// entry's version: a racing delete cannot leave a stale view behind.
+//
+// The cache-hit path performs zero allocations (see `make storeguard`).
+func (sn *Snapshot) Prepared(id int64, eps int32, parts int) (*csj.PreparedCommunity, error) {
+	e, ok := sn.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %d", ErrUnknownCommunity, id)
+	}
+	return sn.store.cache.get(e, eps, parts)
+}

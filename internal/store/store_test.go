@@ -1,0 +1,121 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	csj "github.com/opencsj/csj"
+)
+
+func testCommunity(name string, rng *rand.Rand, n, d int) *csj.Community {
+	users := make([]csj.Vector, n)
+	for i := range users {
+		u := make([]int32, d)
+		for j := range u {
+			u[j] = rng.Int31n(20)
+		}
+		users[i] = u
+	}
+	return &csj.Community{Name: name, Category: -1, Users: users}
+}
+
+func TestCreateGetDelete(t *testing.T) {
+	st := New(Config{})
+	rng := rand.New(rand.NewSource(1))
+	e1 := st.Create(testCommunity("one", rng, 10, 4))
+	e2 := st.Create(testCommunity("two", rng, 12, 4))
+	if e1.ID == e2.ID {
+		t.Fatalf("ids not unique: %d", e1.ID)
+	}
+	if e2.Version <= e1.Version {
+		t.Errorf("versions not monotonic: %d then %d", e1.Version, e2.Version)
+	}
+	snap := st.Snapshot()
+	if got, ok := snap.Get(e1.ID); !ok || got.Comm.Name != "one" {
+		t.Fatalf("Get(%d) = %v, %v", e1.ID, got, ok)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d, want 2", st.Len())
+	}
+	if !st.Delete(e1.ID) {
+		t.Fatal("Delete returned false for a stored community")
+	}
+	if st.Delete(e1.ID) {
+		t.Error("second Delete returned true")
+	}
+	if _, ok := st.Snapshot().Get(e1.ID); ok {
+		t.Error("deleted community still visible in a fresh snapshot")
+	}
+	// Ids are never reused, even after a delete.
+	e3 := st.Create(testCommunity("three", rng, 8, 4))
+	if e3.ID == e1.ID {
+		t.Errorf("id %d was reused", e1.ID)
+	}
+}
+
+func TestListSortedByID(t *testing.T) {
+	st := New(Config{})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5; i++ {
+		st.Create(testCommunity("c", rng, 4, 3))
+	}
+	list := st.Snapshot().List()
+	if len(list) != 5 {
+		t.Fatalf("List returned %d entries, want 5", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ID >= list[i].ID {
+			t.Fatalf("List not ascending at %d: %d >= %d", i, list[i-1].ID, list[i].ID)
+		}
+	}
+}
+
+// TestIngestDeepCopy is the aliasing regression: the caller mutates its
+// community (both a vector element and the Users slice itself) after
+// Create, and the stored copy must be unaffected.
+func TestIngestDeepCopy(t *testing.T) {
+	st := New(Config{})
+	orig := &csj.Community{Name: "alias", Category: -1, Users: []csj.Vector{{1, 2, 3}, {4, 5, 6}}}
+	e := st.Create(orig)
+
+	orig.Users[0][0] = 99
+	orig.Users[1] = []int32{7, 8, 9}
+	orig.Users = orig.Users[:1]
+	orig.Name = "mutated"
+
+	got, ok := st.Snapshot().Get(e.ID)
+	if !ok {
+		t.Fatal("community vanished")
+	}
+	if got.Comm.Name != "alias" {
+		t.Errorf("stored name = %q, want alias", got.Comm.Name)
+	}
+	if len(got.Comm.Users) != 2 {
+		t.Fatalf("stored community has %d users, want 2", len(got.Comm.Users))
+	}
+	if got.Comm.Users[0][0] != 1 || got.Comm.Users[1][0] != 4 {
+		t.Errorf("stored vectors mutated through the caller's alias: %v", got.Comm.Users)
+	}
+}
+
+// TestSnapshotIsolation: a snapshot taken before a delete keeps serving
+// the deleted community (and its prepared views); only newer snapshots
+// observe the removal.
+func TestSnapshotIsolation(t *testing.T) {
+	st := New(Config{})
+	rng := rand.New(rand.NewSource(3))
+	e := st.Create(testCommunity("doomed", rng, 10, 4))
+	old := st.Snapshot()
+	if !st.Delete(e.ID) {
+		t.Fatal("Delete failed")
+	}
+	if _, ok := old.Get(e.ID); !ok {
+		t.Error("pre-delete snapshot lost the entry")
+	}
+	if _, err := old.Prepared(e.ID, 1, 0); err != nil {
+		t.Errorf("pre-delete snapshot cannot prepare the entry: %v", err)
+	}
+	if _, ok := st.Snapshot().Get(e.ID); ok {
+		t.Error("post-delete snapshot still has the entry")
+	}
+}

@@ -5,10 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"time"
 
 	"github.com/opencsj/csj/internal/core"
-	"github.com/opencsj/csj/internal/vector"
 )
 
 // PreparedCommunity is a community with its MinMax encodings cached for
@@ -93,46 +91,10 @@ func SimilarityPreparedCtx(ctx context.Context, b, a *PreparedCommunity, method 
 // SimilarityPrepared and the batch engines. o must already be
 // defaulted; s may be nil for a one-shot run.
 func similarityPrepared(ctx context.Context, b, a *PreparedCommunity, method Method, o *Options, s *core.Scratch) (*Result, error) {
-	if method != ApMinMax && method != ExMinMax {
-		return nil, fmt.Errorf("%w: SimilarityPrepared supports Ap-MinMax and Ex-MinMax, got %v",
-			ErrUnknownMethod, method)
-	}
-	if !o.AllowSizeImbalance {
-		if err := vector.CheckSizes(b.p.Community(), a.p.Community()); err != nil {
-			return nil, fmt.Errorf("%w (pass AllowSizeImbalance to override)", err)
-		}
-	}
-	copts := core.Options{Eps: o.Epsilon, Parts: o.Parts,
-		Matcher: o.Matcher.matcher(), DisableSkipOffset: o.DisableSkipOffset,
-		Done: ctx.Done()}
-	run := core.ApMinMaxPreparedInto
-	if method == ExMinMax {
-		run = core.ExMinMaxPreparedInto
-	}
-	start := time.Now()
-	res := &core.Result{}
-	if err := run(b.p, a.p, copts, s, res); err != nil {
-		return nil, mapCanceled(ctx, err)
-	}
-	elapsed := time.Since(start)
-	out := &Result{
-		Method:  method,
-		Pairs:   make([]Pair, len(res.Pairs)),
-		SizeB:   b.Size(),
-		SizeA:   a.Size(),
-		Events:  Events(res.Events),
-		Elapsed: elapsed,
-	}
-	for i, p := range res.Pairs {
-		out.Pairs[i] = Pair{B: int(p.B), A: int(p.A)}
-	}
-	p := 1.0
-	if !method.IsExact() && o.P > 0 {
-		p = o.P
-	}
-	out.Similarity = p * float64(len(out.Pairs)) / float64(b.Size())
-	if o.OnJoinEvents != nil {
-		o.OnJoinEvents(out.Events)
+	out := &Result{}
+	var cres core.Result
+	if err := similarityPreparedInto(ctx, b, a, method, o, s, &cres, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -187,7 +149,39 @@ func SimilarityMatrixCtx(ctx context.Context, comms []*Community, method Method,
 	}); err != nil {
 		return nil, err
 	}
+	return matrixCells(ctx, prepared, method, &o, workers)
+}
 
+// SimilarityMatrixPrepared scores every unordered pair of
+// already-prepared communities, skipping the per-call encoding phase
+// entirely — the workload the community store's view cache serves. All
+// views must agree on epsilon and parts (Precompute with the same
+// options, or views from one store snapshot); a mismatch surfaces as a
+// join error.
+func SimilarityMatrixPrepared(prepared []*PreparedCommunity, method Method, opts *Options) ([]MatrixEntry, error) {
+	return SimilarityMatrixPreparedCtx(context.Background(), prepared, method, opts)
+}
+
+// SimilarityMatrixPreparedCtx is SimilarityMatrixPrepared with
+// cooperative cancellation (see SimilarityMatrixCtx for the semantics).
+func SimilarityMatrixPreparedCtx(ctx context.Context, prepared []*PreparedCommunity, method Method, opts *Options) ([]MatrixEntry, error) {
+	if len(prepared) < 2 {
+		return nil, errors.New("csj: SimilarityMatrix needs at least two communities")
+	}
+	for i, p := range prepared {
+		if p == nil {
+			return nil, fmt.Errorf("csj: prepared community %d is nil", i)
+		}
+	}
+	o := opts.orDefault()
+	workers := batchWorkers(&o)
+	return matrixCells(ctx, prepared, method, &o, workers)
+}
+
+// matrixCells is the cell engine shared by the one-shot and prepared
+// matrix entry points: every unordered pair, fanned out across the
+// worker pool with per-worker scratch, smaller community as B.
+func matrixCells(ctx context.Context, prepared []*PreparedCommunity, method Method, o *Options, workers int) ([]MatrixEntry, error) {
 	n := len(prepared)
 	cells := make([][2]int, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
@@ -204,7 +198,7 @@ func SimilarityMatrixCtx(ctx context.Context, comms []*Community, method Method,
 		if b.Size() > a.Size() {
 			b, a = a, b
 		}
-		res, err := similarityPrepared(ctx, b, a, method, &o, scratches.get(w))
+		res, err := similarityPrepared(ctx, b, a, method, o, scratches.get(w))
 		switch {
 		case err == nil:
 			entry.Result = res

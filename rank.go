@@ -3,6 +3,7 @@ package csj
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 )
 
@@ -77,6 +78,64 @@ func RankCtx(ctx context.Context, pivot *Community, candidates []*Community, met
 	if err != nil {
 		return nil, err
 	}
+	sortRanked(out)
+	return out, nil
+}
+
+// RankPrepared is Rank over already-prepared communities with a MinMax
+// method (ApMinMax or ExMinMax; the other methods do not use the cached
+// encodings). The encoding phase is skipped entirely, so repeated
+// rankings over a stored corpus re-encode nothing. All views must agree
+// on epsilon and parts.
+func RankPrepared(pivot *PreparedCommunity, candidates []*PreparedCommunity, method Method, opts *Options) ([]Ranked, error) {
+	return RankPreparedCtx(context.Background(), pivot, candidates, method, opts)
+}
+
+// RankPreparedCtx is RankPrepared with cooperative cancellation (see
+// RankCtx for the semantics: per-candidate failures are recorded,
+// cancellation is fatal).
+func RankPreparedCtx(ctx context.Context, pivot *PreparedCommunity, candidates []*PreparedCommunity, method Method, opts *Options) ([]Ranked, error) {
+	if pivot == nil || len(candidates) == 0 {
+		return nil, errors.New("csj: Rank needs a pivot and at least one candidate")
+	}
+	for i, pc := range candidates {
+		if pc == nil {
+			return nil, fmt.Errorf("csj: prepared candidate %d is nil", i)
+		}
+	}
+	o := opts.orDefault()
+	workers := batchWorkers(&o)
+	scratches := newScratchPool(workers)
+	out := make([]Ranked, len(candidates))
+	err := runPoolStats(ctx, workers, len(candidates), "rank/probe", o.OnPoolStats, func(w, i int) error {
+		pc := candidates[i]
+		out[i] = Ranked{Index: i, Name: pc.Name()}
+		b, a := orientPrepared(pivot, pc)
+		res, err := similarityPrepared(ctx, b, a, method, &o, scratches.get(w))
+		switch {
+		case err == nil:
+			out[i].Result = res
+		case errors.Is(err, ErrSizeConstraint):
+			out[i].Skipped = true
+		case ctx.Err() != nil:
+			return ctx.Err() // cancellation is fatal, not a candidate failure
+		case errors.Is(err, ErrUnknownMethod):
+			return err // a non-MinMax method fails every probe identically
+		default:
+			out[i].Err = err
+		}
+		return nil // per-candidate failures are recorded, not fatal
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortRanked(out)
+	return out, nil
+}
+
+// sortRanked orders entries by descending similarity; skipped and
+// failed candidates keep their relative order after the scored ones.
+func sortRanked(out []Ranked) {
 	sort.SliceStable(out, func(x, y int) bool {
 		rx, ry := out[x].Result, out[y].Result
 		switch {
@@ -88,5 +147,4 @@ func RankCtx(ctx context.Context, pivot *Community, candidates []*Community, met
 			return false
 		}
 	})
-	return out, nil
 }

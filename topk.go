@@ -73,19 +73,53 @@ func TopKCtx(ctx context.Context, pivot *Community, candidates []*Community, k i
 	}); err != nil {
 		return nil, err
 	}
+	return topKPhases(ctx, pp, pcs, k, &o, workers)
+}
+
+// TopKPrepared is TopK over already-prepared communities: the encoding
+// phase is skipped entirely, so repeated top-k queries over a stored
+// corpus (the community store's workload) re-encode nothing. All views
+// must agree on epsilon and parts.
+func TopKPrepared(pivot *PreparedCommunity, candidates []*PreparedCommunity, k int, opts *Options) ([]TopKResult, error) {
+	return TopKPreparedCtx(context.Background(), pivot, candidates, k, opts)
+}
+
+// TopKPreparedCtx is TopKPrepared with cooperative cancellation (see
+// TopKCtx for the semantics).
+func TopKPreparedCtx(ctx context.Context, pivot *PreparedCommunity, candidates []*PreparedCommunity, k int, opts *Options) ([]TopKResult, error) {
+	if pivot == nil || len(candidates) == 0 {
+		return nil, errors.New("csj: TopK needs a pivot and at least one candidate")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("csj: TopK needs k >= 1, got %d", k)
+	}
+	for i, pc := range candidates {
+		if pc == nil {
+			return nil, fmt.Errorf("csj: prepared candidate %d is nil", i)
+		}
+	}
+	o := opts.orDefault()
+	workers := batchWorkers(&o)
+	return topKPhases(ctx, pivot, candidates, k, &o, workers)
+}
+
+// topKPhases is the two-phase engine shared by TopKCtx and
+// TopKPreparedCtx: approximate prefilter over all candidates, exact
+// refinement of the 2k survivors.
+func topKPhases(ctx context.Context, pp *PreparedCommunity, pcs []*PreparedCommunity, k int, o *Options, workers int) ([]TopKResult, error) {
 	scratches := newScratchPool(workers)
 
 	// Phase 1: approximate prefilter, one probe per candidate.
-	results := make([]TopKResult, len(candidates))
-	err = runPoolStats(ctx, workers, len(candidates), "topk/phase1", o.OnPoolStats, func(w, i int) error {
-		results[i] = TopKResult{Index: i, Name: candidates[i].Name, Skipped: true}
+	results := make([]TopKResult, len(pcs))
+	err := runPoolStats(ctx, workers, len(pcs), "topk/phase1", o.OnPoolStats, func(w, i int) error {
+		results[i] = TopKResult{Index: i, Name: pcs[i].Name(), Skipped: true}
 		b, a := orientPrepared(pp, pcs[i])
-		res, err := similarityPrepared(ctx, b, a, ApMinMax, &o, scratches.get(w))
+		res, err := similarityPrepared(ctx, b, a, ApMinMax, o, scratches.get(w))
 		if err != nil {
 			if errors.Is(err, ErrSizeConstraint) {
 				return nil
 			}
-			return fmt.Errorf("csj: phase 1 on %s: %w", candidates[i].Name, err)
+			return fmt.Errorf("csj: phase 1 on %s: %w", pcs[i].Name(), err)
 		}
 		results[i].Skipped = false
 		results[i].ApproxSimilarity = res.Similarity
@@ -113,7 +147,7 @@ func TopKCtx(ctx context.Context, pivot *Community, candidates []*Community, k i
 	err = runPoolStats(ctx, workers, len(refine), "topk/phase2", o.OnPoolStats, func(w, x int) error {
 		ri := refine[x]
 		b, a := orientPrepared(pp, pcs[results[ri].Index])
-		res, err := similarityPrepared(ctx, b, a, ExMinMax, &o, scratches.get(w))
+		res, err := similarityPrepared(ctx, b, a, ExMinMax, o, scratches.get(w))
 		if err != nil {
 			return fmt.Errorf("csj: phase 2 on %s: %w", results[ri].Name, err)
 		}
