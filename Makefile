@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench faults metricsguard storeguard
+.PHONY: check vet build test race bench faults metricsguard storeguard fuzzsmoke crashguard
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -20,9 +20,11 @@ race:
 
 # faults runs the fault-injection suite under the race detector:
 # injected panics, oversized bodies, shed load, exhausted compute
-# budgets, and mid-join client disconnects (DESIGN.md §8).
+# budgets, mid-join client disconnects (DESIGN.md §8), and the
+# crash-recovery faults of the durable layer — torn tails, bit rot,
+# repair, delete-then-crash replay, churn storms (DESIGN.md §11).
 faults:
-	$(GO) test -race -v -run '^TestFault' ./internal/server
+	$(GO) test -race -v -run '^TestFault' ./internal/server ./internal/durable
 
 # bench runs the batch-engine benchmarks (serial vs parallel) with
 # allocation counts.
@@ -41,3 +43,16 @@ metricsguard:
 # stay 0 allocs/op. !race-gated for the same reason as metricsguard.
 storeguard:
 	$(GO) test -count=1 -v -run '^TestStoreCacheHitPreparedApZeroAllocs$$' ./internal/store
+
+# fuzzsmoke gives each ingest fuzz target a short native-fuzzing burst
+# (seeded with the crafted-header corpus of the hardening pass), so CI
+# catches parser regressions without a long fuzzing budget.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime 15s ./internal/vector
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 15s ./internal/vector
+
+# crashguard is the end-to-end durability gate (DESIGN.md §11): it
+# kill -9s a live csjserve mid-ingest, restarts it over the same WAL
+# directory, and fails if any acknowledged write is lost.
+crashguard:
+	$(GO) run ./cmd/crashguard

@@ -1,0 +1,311 @@
+// Command crashguard is the kill -9 durability harness (`make
+// crashguard`, DESIGN.md §11): it builds csjserve, runs it with a
+// write-ahead log under -fsync=always, ingests communities over HTTP
+// while killing the process with SIGKILL mid-ingest, restarts it over
+// the same directory, and verifies the durability contract — every
+// acknowledged write survives, recovery serves a working /matrix, and
+// the recovery metrics are exposed. Any violation exits non-zero.
+//
+// Usage:
+//
+//	crashguard [-cycles 3] [-per-cycle 25] [-server path/to/csjserve]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+type communityPayload struct {
+	Name     string    `json:"name"`
+	Category int       `json:"category"`
+	Users    [][]int32 `json:"users"`
+}
+
+type communityInfo struct {
+	ID   int64  `json:"id"`
+	Name string `json:"name"`
+	Size int    `json:"size"`
+}
+
+// acked is one write the server acknowledged with 201: the durability
+// contract says it must survive any crash from that moment on.
+type acked struct {
+	id   int64
+	name string
+	size int
+}
+
+func main() {
+	var (
+		cycles     = flag.Int("cycles", 3, "kill-9 cycles to run")
+		perCycle   = flag.Int("per-cycle", 25, "ingests attempted per cycle (the kill lands mid-stream)")
+		serverPath = flag.String("server", "", "csjserve binary (empty = build it)")
+		keep       = flag.Bool("keep", false, "keep the scratch directory on exit")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("crashguard ")
+
+	scratch, err := os.MkdirTemp("", "crashguard-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*keep {
+		defer os.RemoveAll(scratch)
+	}
+	storeDir := filepath.Join(scratch, "store")
+
+	bin := *serverPath
+	if bin == "" {
+		bin = filepath.Join(scratch, "csjserve")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/csjserve")
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			log.Fatalf("building csjserve: %v", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var survivors []acked
+	for cycle := 1; cycle <= *cycles; cycle++ {
+		got, err := runCycle(bin, storeDir, rng, *perCycle, survivors)
+		if err != nil {
+			log.Fatalf("cycle %d: %v", cycle, err)
+		}
+		survivors = got
+		log.Printf("cycle %d ok: %d acknowledged writes verified after kill -9", cycle, len(survivors))
+	}
+	log.Printf("PASS: %d cycles, %d acknowledged writes, zero losses", *cycles, len(survivors))
+}
+
+// runCycle starts the server, verifies every previously acknowledged
+// write is still served, ingests more while killing the process
+// mid-stream, restarts, and returns the grown acknowledged set.
+func runCycle(bin, storeDir string, rng *rand.Rand, n int, prev []acked) ([]acked, error) {
+	srv, err := startServer(bin, storeDir)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.stop()
+
+	if err := verify(srv.base, prev); err != nil {
+		return nil, fmt.Errorf("pre-ingest verification: %w", err)
+	}
+
+	// Ingest with the kill landing somewhere inside the stream: every
+	// write acknowledged before the process dies joins the contract.
+	killAfter := 1 + rng.Intn(n)
+	ackedNow := append([]acked(nil), prev...)
+	for i := 0; i < n; i++ {
+		users := make([][]int32, 4+rng.Intn(8))
+		for u := range users {
+			row := make([]int32, 5)
+			for j := range row {
+				row[j] = rng.Int31n(12)
+			}
+			users[u] = row
+		}
+		name := fmt.Sprintf("c-%d-%d", len(ackedNow), rng.Int31())
+		info, err := ingest(srv.base, communityPayload{Name: name, Category: -1, Users: users})
+		if err != nil {
+			// The kill may race the ingest: an error after the kill is the
+			// crash itself, not a failure. An unacknowledged write carries
+			// no durability promise either way.
+			break
+		}
+		ackedNow = append(ackedNow, acked{id: info.ID, name: name, size: len(users)})
+		if i+1 == killAfter {
+			if err := srv.kill(); err != nil {
+				return nil, fmt.Errorf("kill -9: %w", err)
+			}
+			break
+		}
+	}
+	srv.stop()
+
+	// Restart over the same directory and hold recovery to the contract.
+	srv2, err := startServer(bin, storeDir)
+	if err != nil {
+		return nil, fmt.Errorf("restart after kill: %w", err)
+	}
+	defer srv2.stop()
+	if err := verify(srv2.base, ackedNow); err != nil {
+		return nil, fmt.Errorf("post-crash verification: %w", err)
+	}
+	return ackedNow, nil
+}
+
+// verify checks every acknowledged write is served with the right name
+// and size (recovered extras from unacknowledged writes are fine), the
+// store joins, and the recovery metrics are exposed.
+func verify(base string, want []acked) error {
+	var list []communityInfo
+	if err := getJSON(base+"/communities", &list); err != nil {
+		return err
+	}
+	have := make(map[int64]communityInfo, len(list))
+	for _, c := range list {
+		have[c.ID] = c
+	}
+	for _, w := range want {
+		got, ok := have[w.id]
+		if !ok {
+			return fmt.Errorf("acknowledged community %d (%s) lost after crash", w.id, w.name)
+		}
+		if got.Name != w.name || got.Size != w.size {
+			return fmt.Errorf("community %d recovered as %q/%d users, acknowledged as %q/%d",
+				w.id, got.Name, got.Size, w.name, w.size)
+		}
+	}
+
+	var health struct {
+		Durability struct {
+			Enabled bool `json:"enabled"`
+		} `json:"durability"`
+	}
+	if err := getJSON(base+"/healthz", &health); err != nil {
+		return err
+	}
+	if !health.Durability.Enabled {
+		return fmt.Errorf("healthz does not report durability enabled")
+	}
+
+	if len(want) >= 2 {
+		ids := []int64{want[0].id, want[1].id}
+		body, _ := json.Marshal(map[string]any{"communities": ids, "method": "exminmax",
+			"options": map[string]any{"allow_size_imbalance": true}})
+		resp, err := http.Post(base+"/matrix", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("POST /matrix: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /matrix over recovered store: status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	exposition, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(exposition), "csj_recovery_truncated_records_total") {
+		return fmt.Errorf("/metrics missing csj_recovery_truncated_records_total")
+	}
+	return nil
+}
+
+// server is one running csjserve process.
+type server struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startServer launches csjserve with the WAL under -fsync=always and
+// waits for it to serve.
+func startServer(bin, storeDir string) (*server, error) {
+	port, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-store-dir", storeDir,
+		"-fsync", "always",
+		"-q",
+		"-shutdown-grace", "5s")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting csjserve: %w", err)
+	}
+	s := &server{cmd: cmd, base: "http://" + addr}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(s.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return s, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	s.stop()
+	return nil, fmt.Errorf("csjserve did not become healthy on %s", addr)
+}
+
+// kill delivers SIGKILL: no drain, no flush — the crash under test.
+func (s *server) kill() error {
+	if err := s.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	s.cmd.Wait()
+	return nil
+}
+
+// stop tears the process down if it is still running (idempotent).
+func (s *server) stop() {
+	if s.cmd.ProcessState == nil {
+		s.cmd.Process.Kill()
+		s.cmd.Wait()
+	}
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+func ingest(base string, p communityPayload) (*communityInfo, error) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/communities", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("POST /communities: status %d", resp.StatusCode)
+	}
+	var info communityInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

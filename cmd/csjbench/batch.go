@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	csj "github.com/opencsj/csj"
 	"github.com/opencsj/csj/internal/core"
 	"github.com/opencsj/csj/internal/dataset"
+	"github.com/opencsj/csj/internal/durable"
 	"github.com/opencsj/csj/internal/store"
 	"github.com/opencsj/csj/internal/vector"
 )
@@ -80,6 +82,12 @@ type batchReport struct {
 	StoreCacheBuilds  int64   `json:"store_cache_builds"`
 	StoreCacheBytes   int64   `json:"store_cache_bytes"`
 	StoreCacheEntries int     `json:"store_cache_entries"`
+
+	// Durability section: the cost of one WAL append of a
+	// cfg.Size-user community, with an fsync per append (the
+	// -fsync=always acknowledgement price) versus none (DESIGN.md §11).
+	WALAppendFsyncNs   int64 `json:"wal_append_fsync_ns"`
+	WALAppendNoFsyncNs int64 `json:"wal_append_nofsync_ns"`
 
 	// With -metrics: scan-event totals and per-worker pool utilization
 	// from one instrumented parallel Matrix + TopK run.
@@ -218,6 +226,10 @@ func runBatch(w io.Writer, cfg batchConfig) error {
 		return err
 	}
 
+	if err := durableRun(comms[0], &rep); err != nil {
+		return err
+	}
+
 	if cfg.Metrics {
 		if err := instrumentedRun(comms, pivot, cands, cfg, eps, &rep); err != nil {
 			return err
@@ -279,7 +291,11 @@ func storeRun(comms []*csj.Community, eps int32, opts *csj.Options, rep *batchRe
 	st := store.New(store.Config{})
 	ids := make([]int64, len(comms))
 	for i, c := range comms {
-		ids[i] = st.Create(c).ID
+		e, err := st.Create(c)
+		if err != nil {
+			return err
+		}
+		ids[i] = e.ID
 	}
 	pass := func() (time.Duration, error) {
 		snap := st.Snapshot()
@@ -316,6 +332,46 @@ func storeRun(comms []*csj.Community, eps int32, opts *csj.Options, rep *batchRe
 	rep.StoreCacheBuilds = cs.Builds
 	rep.StoreCacheBytes = cs.Bytes
 	rep.StoreCacheEntries = cs.Entries
+	return nil
+}
+
+// durableRun prices one WAL append of community c under both fsync
+// extremes, into throwaway log directories. The gap between the two
+// rows is what -fsync=always charges per acknowledged ingest.
+func durableRun(c *csj.Community, rep *batchReport) error {
+	bench := func(policy durable.FsyncPolicy) (int64, error) {
+		dir, err := os.MkdirTemp("", "csjbench-wal-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		// Automatic checkpoints off: the benchmark prices appends only.
+		l, err := durable.Open(dir, durable.Options{Fsync: policy, CheckpointEvery: -1})
+		if err != nil {
+			return 0, err
+		}
+		defer l.Close()
+		var id int64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				id++
+				if err := l.AppendPut(id, uint64(id), c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return r.NsPerOp(), nil
+	}
+	fsync, err := bench(durable.FsyncAlways)
+	if err != nil {
+		return err
+	}
+	noFsync, err := bench(durable.FsyncOff)
+	if err != nil {
+		return err
+	}
+	rep.WALAppendFsyncNs = fsync
+	rep.WALAppendNoFsyncNs = noFsync
 	return nil
 }
 

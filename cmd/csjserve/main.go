@@ -35,15 +35,25 @@
 //	-metrics  serve Prometheus text metrics at GET /metrics (default on)
 //	-pprof    mount net/http/pprof under /debug/pprof/ (default off)
 //
+// Durability (see DESIGN.md §11):
+//
+//	-store-dir          directory for the WAL + checkpoints (empty = memory-only)
+//	-fsync              always | interval | off (always = no acked write is ever lost)
+//	-checkpoint-every   appends between automatic checkpoints
+//	-repair             accept a corrupt log: truncate at the damage and start
+//
 // The server drains gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get -shutdown-grace to finish, and
 // any still running after that are canceled via their request context.
+// Only after the drain completes is the write-ahead log flushed and
+// closed — no handler can be mid-append when the log shuts down.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -51,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/opencsj/csj/internal/durable"
 	"github.com/opencsj/csj/internal/server"
 )
 
@@ -78,6 +89,14 @@ func main() {
 			"serve Prometheus metrics at GET /metrics (see DESIGN.md §9)")
 		pprofOn = flag.Bool("pprof", false,
 			"mount net/http/pprof under /debug/pprof/ (trusted networks only)")
+		storeDir = flag.String("store-dir", "",
+			"directory for the write-ahead log and checkpoints (empty = memory-only, see DESIGN.md §11)")
+		fsyncMode = flag.String("fsync", "always",
+			"WAL fsync policy: always (durable before every 201), interval, or off")
+		checkpointEvery = flag.Int64("checkpoint-every", 0,
+			"WAL appends between automatic checkpoints (0 = default)")
+		repair = flag.Bool("repair", false,
+			"accept a corrupt log: truncate at the first damaged record, drop everything after, and start from what remains")
 	)
 	flag.Parse()
 
@@ -86,6 +105,26 @@ func main() {
 	if *quiet {
 		reqLogger = nil
 	}
+
+	var dlog *durable.Log
+	if *storeDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		dlog, err = durable.Open(*storeDir, durable.Options{
+			Fsync:           policy,
+			CheckpointEvery: *checkpointEvery,
+			Repair:          *repair,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		rs := dlog.Recovery()
+		logger.Printf("durable store %s: recovered %d communities (checkpoint %d, %d WAL records replayed, %d truncated, repaired=%v)",
+			*storeDir, rs.RecoveredEntries, rs.CheckpointSeq, rs.Records, rs.TruncatedRecords, rs.Repaired)
+	}
+
 	handler := server.NewWithConfig(reqLogger, server.Config{
 		MaxInFlight:        *maxInFlight,
 		RequestTimeout:     *reqTimeout,
@@ -93,6 +132,7 @@ func main() {
 		PreparedCacheBytes: *preparedCache,
 		DisableMetrics:     !*metricsOn,
 		EnablePprof:        *pprofOn,
+		Durable:            dlog,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -130,6 +170,12 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Fatal(err)
+		}
+		// Close persistence only after the HTTP server has fully stopped:
+		// every in-flight ingest has either been acknowledged (and is in
+		// the WAL) or canceled. Closing earlier would race live appends.
+		if err := handler.Close(); err != nil {
+			logger.Fatal(fmt.Errorf("closing durable store: %w", err))
 		}
 		logger.Printf("bye")
 	}

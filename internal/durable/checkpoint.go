@@ -1,0 +1,132 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/store"
+)
+
+// Checkpoint file format (after the magic):
+//
+//	uint64 seq        must match the file name
+//	int64  nextID     highest community id ever issued (ids never reuse)
+//	uint64 version    store-wide mutation counter at the checkpoint
+//	uint32 count
+//	count × entry:    int64 id, uint64 version, uint32 len, community binary
+//	uint32 crc        CRC-32C of everything after the magic
+//
+// The file is written to a .tmp sibling, fsynced, renamed into place,
+// and the directory fsynced — a crashed checkpoint write can only ever
+// leave a .tmp behind, never a half-valid checkpoint under the final
+// name.
+
+// writeCheckpoint durably installs seed as checkpoint-<seq>.
+func writeCheckpoint(dir string, seq uint64, seed *store.Seed) error {
+	var body bytes.Buffer
+	body.WriteString(ckptMagic)
+	var hdr [28]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], seq)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(seed.NextID))
+	binary.LittleEndian.PutUint64(hdr[16:24], seed.Version)
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(len(seed.Entries)))
+	body.Write(hdr[:])
+	var comm bytes.Buffer
+	for _, e := range seed.Entries {
+		comm.Reset()
+		if err := csj.WriteCommunityBinary(&comm, e.Comm); err != nil {
+			return fmt.Errorf("durable: encoding checkpoint community %d: %w", e.ID, err)
+		}
+		var ehdr [20]byte
+		binary.LittleEndian.PutUint64(ehdr[0:8], uint64(e.ID))
+		binary.LittleEndian.PutUint64(ehdr[8:16], e.Version)
+		binary.LittleEndian.PutUint32(ehdr[16:20], uint32(comm.Len()))
+		body.Write(ehdr[:])
+		body.Write(comm.Bytes())
+	}
+	sum := crc32.Checksum(body.Bytes()[len(ckptMagic):], castagnoli)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	body.Write(tail[:])
+
+	final := filepath.Join(dir, ckptName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: creating checkpoint temp: %w", err)
+	}
+	_, err = f.Write(body.Bytes())
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: installing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// loadCheckpoint reads and validates checkpoint-<seq>, returning the
+// decoded seed. Any validation failure returns an error; the caller
+// decides whether an invalid checkpoint is fatal.
+func loadCheckpoint(dir string, seq uint64) (*store.Seed, error) {
+	path := filepath.Join(dir, ckptName(seq))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(ckptMagic)+28+4 {
+		return nil, fmt.Errorf("checkpoint %s: %d bytes is too short", ckptName(seq), len(raw))
+	}
+	if string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("checkpoint %s: bad magic", ckptName(seq))
+	}
+	body, tail := raw[len(ckptMagic):len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("checkpoint %s: checksum mismatch (have %08x, want %08x)", ckptName(seq), got, want)
+	}
+	if got := binary.LittleEndian.Uint64(body[0:8]); got != seq {
+		return nil, fmt.Errorf("checkpoint %s: header seq %d does not match file name", ckptName(seq), got)
+	}
+	seed := &store.Seed{
+		NextID:  int64(binary.LittleEndian.Uint64(body[8:16])),
+		Version: binary.LittleEndian.Uint64(body[16:24]),
+	}
+	count := binary.LittleEndian.Uint32(body[24:28])
+	rest := body[28:]
+	seed.Entries = make([]store.SeedEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 20 {
+			return nil, fmt.Errorf("checkpoint %s: truncated entry %d", ckptName(seq), i)
+		}
+		id := int64(binary.LittleEndian.Uint64(rest[0:8]))
+		version := binary.LittleEndian.Uint64(rest[8:16])
+		clen := binary.LittleEndian.Uint32(rest[16:20])
+		rest = rest[20:]
+		if uint32(len(rest)) < clen {
+			return nil, fmt.Errorf("checkpoint %s: entry %d claims %d community bytes, %d remain", ckptName(seq), i, clen, len(rest))
+		}
+		c, err := csj.ReadCommunityBinary(bytes.NewReader(rest[:clen]))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %s: entry %d community: %w", ckptName(seq), i, err)
+		}
+		rest = rest[clen:]
+		seed.Entries = append(seed.Entries, store.SeedEntry{ID: id, Version: version, Comm: c})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("checkpoint %s: %d trailing bytes after %d entries", ckptName(seq), len(rest), count)
+	}
+	return seed, nil
+}

@@ -1,0 +1,378 @@
+// Package durable is the crash-safety layer under the community store
+// (DESIGN.md §11): a write-ahead log of checksummed mutation records
+// plus atomically installed checkpoints, stdlib-only. Every store
+// mutation appends one CRC-32C-framed record and fsyncs per the
+// configured policy before the caller acknowledges it; startup replays
+// the log on top of the newest valid checkpoint, truncating the torn
+// tail of a crashed append and refusing to start on mid-log corruption
+// unless explicitly told to repair. The Log implements
+// store.Persistence, so the in-memory store stays untouched (and
+// zero-cost) when durability is off.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/store"
+)
+
+// ErrClosed reports an append to a closed log. A request that hits it
+// was never acknowledged, so nothing durable was promised.
+var ErrClosed = errors.New("durable: log closed")
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every append: an acknowledged mutation
+	// survives even a kill -9 at any instant. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncEveryInterval fsyncs from a background flusher every
+	// Options.FsyncInterval: a crash can lose at most the last
+	// interval's acknowledged mutations.
+	FsyncEveryInterval
+	// FsyncOff never fsyncs appends; the OS flushes on its own
+	// schedule. Process crashes lose nothing (the page cache survives);
+	// machine crashes can lose recent mutations.
+	FsyncOff
+)
+
+// String returns the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncEveryInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy resolves the -fsync flag values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncEveryInterval, nil
+	case "off", "never":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval, or off)", s)
+	}
+}
+
+// DefaultFsyncInterval is the background flush cadence of
+// FsyncEveryInterval.
+const DefaultFsyncInterval = 100 * time.Millisecond
+
+// DefaultCheckpointEvery is how many WAL appends accumulate before the
+// store checkpoints and the old segment is collected.
+const DefaultCheckpointEvery = 4096
+
+// Options configures Open.
+type Options struct {
+	// Fsync is the append durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncEveryInterval cadence; 0 selects
+	// DefaultFsyncInterval.
+	FsyncInterval time.Duration
+	// CheckpointEvery is the append count between automatic checkpoints;
+	// 0 selects DefaultCheckpointEvery, negative disables automatic
+	// checkpoints (explicit store.Checkpoint calls still work).
+	CheckpointEvery int64
+	// Repair permits startup to truncate the log at mid-log corruption
+	// (or fall back past an unreadable checkpoint), accepting the loss
+	// of everything after the damage. Without it, corruption refuses to
+	// start with ErrCorrupt.
+	Repair bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval == 0 {
+		o.FsyncInterval = DefaultFsyncInterval
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = DefaultCheckpointEvery
+	}
+	return o
+}
+
+// Observer receives durability lifecycle events; the server's metrics
+// registry implements it. Callbacks fire from mutation goroutines and
+// must be safe for concurrent use.
+type Observer interface {
+	// WALAppend fires once per appended record.
+	WALAppend()
+	// WALFsync fires once per WAL fsync with its duration.
+	WALFsync(d time.Duration)
+	// CheckpointWritten fires once per installed checkpoint with the
+	// write+install duration.
+	CheckpointWritten(d time.Duration)
+	// RecoveryTruncated fires when recovery dropped records (torn tail
+	// or repair), including replayed-at-SetObserver time.
+	RecoveryTruncated(records int64)
+}
+
+// Status is a point-in-time read of the log for /healthz.
+type Status struct {
+	Enabled                  bool   `json:"enabled"`
+	Dir                      string `json:"dir"`
+	Fsync                    string `json:"fsync"`
+	WALSegment               uint64 `json:"wal_segment"`
+	WALAppends               int64  `json:"wal_appends"`
+	AppendsSinceCheckpoint   int64  `json:"wal_appends_since_checkpoint"`
+	Checkpoints              int64  `json:"checkpoints"`
+	RecoveredCommunities     int    `json:"recovered_communities"`
+	RecoveryTruncatedRecords int64  `json:"recovery_truncated_records"`
+	RecoveryRepaired         bool   `json:"recovery_repaired,omitempty"`
+}
+
+// Log is the write-ahead log plus checkpoint machinery of one store
+// directory. Safe for concurrent use; implements store.Persistence.
+type Log struct {
+	dir  string
+	opts Options
+
+	appends   atomic.Int64
+	sinceCkpt atomic.Int64
+	ckpts     atomic.Int64
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	size   int64
+	dirty  bool
+	closed bool
+	obs    Observer
+
+	seed      *store.Seed
+	recovered RecoveryStats
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open recovers the store image in dir (creating it if absent) and
+// returns a log ready for appends. On mid-log corruption it refuses
+// with an error wrapping ErrCorrupt unless opts.Repair is set.
+func Open(dir string, opts Options) (*Log, error) {
+	l := &Log{dir: dir, opts: opts.withDefaults()}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating %s: %w", dir, err)
+	}
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	if l.opts.Fsync == FsyncEveryInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// Seed returns the store image recovery rebuilt: pass it to store.New.
+// The communities are owned by the store from then on.
+func (l *Log) Seed() *store.Seed { return l.seed }
+
+// Recovery returns what Open found and did.
+func (l *Log) Recovery() RecoveryStats { return l.recovered }
+
+// SetObserver attaches the metrics observer. Recovery happened before
+// any observer could exist, so its truncation count is replayed into
+// the new observer here.
+func (l *Log) SetObserver(obs Observer) {
+	l.mu.Lock()
+	l.obs = obs
+	l.mu.Unlock()
+	if obs != nil && l.recovered.TruncatedRecords > 0 {
+		obs.RecoveryTruncated(l.recovered.TruncatedRecords)
+	}
+}
+
+// Status snapshots the log state for /healthz.
+func (l *Log) Status() Status {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	return Status{
+		Enabled:                  true,
+		Dir:                      l.dir,
+		Fsync:                    l.opts.Fsync.String(),
+		WALSegment:               seq,
+		WALAppends:               l.appends.Load(),
+		AppendsSinceCheckpoint:   l.sinceCkpt.Load(),
+		Checkpoints:              l.ckpts.Load(),
+		RecoveredCommunities:     l.recovered.RecoveredEntries,
+		RecoveryTruncatedRecords: l.recovered.TruncatedRecords,
+		RecoveryRepaired:         l.recovered.Repaired,
+	}
+}
+
+// AppendPut logs a community ingest. Part of store.Persistence; the
+// store calls it before publishing (and before acknowledging) the
+// mutation, so an error means the mutation never happened.
+func (l *Log) AppendPut(id int64, version uint64, c *csj.Community) error {
+	payload, err := putPayload(id, version, c)
+	if err != nil {
+		return err
+	}
+	return l.append(payload)
+}
+
+// AppendDelete logs a community removal. Part of store.Persistence.
+func (l *Log) AppendDelete(id int64, version uint64) error {
+	return l.append(deletePayload(id, version))
+}
+
+func (l *Log) append(payload []byte) error {
+	frame := encodeFrame(payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		// A partial frame on disk would read as mid-log corruption once
+		// more records follow it; chop back to the last good boundary so
+		// the failure stays a torn tail.
+		l.f.Truncate(l.size) // best effort
+		return fmt.Errorf("durable: appending record: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.dirty = true
+	l.appends.Add(1)
+	l.sinceCkpt.Add(1)
+	if l.obs != nil {
+		l.obs.WALAppend()
+	}
+	if l.opts.Fsync == FsyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("durable: fsyncing wal: %w", err)
+	}
+	l.dirty = false
+	if l.obs != nil {
+		l.obs.WALFsync(time.Since(start))
+	}
+	return nil
+}
+
+// flushLoop is the FsyncEveryInterval background flusher.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				l.syncLocked() // an fsync error here retries next tick
+			}
+			l.mu.Unlock()
+		case <-l.flushStop:
+			return
+		}
+	}
+}
+
+// CheckpointDue reports that enough appends accumulated for an
+// automatic checkpoint. Part of store.Persistence; called by the store
+// after each mutation.
+func (l *Log) CheckpointDue() bool {
+	return l.opts.CheckpointEvery > 0 && l.sinceCkpt.Load() >= l.opts.CheckpointEvery
+}
+
+// BeginCheckpoint rotates to a fresh WAL segment and returns a commit
+// closure that durably installs seed as the new checkpoint and
+// collects the superseded files. Part of store.Persistence.
+//
+// The store calls BeginCheckpoint under its mutation lock with seed
+// equal to the exact current state, so every mutation is either inside
+// seed (and safe once commit installs it) or appended after the
+// rotation (and replayed from the new segment). commit runs outside
+// the lock — checkpoint writes never stall mutations. If commit is
+// never called (crash, error), nothing is lost: recovery replays the
+// old segment and the new one on top of the previous checkpoint.
+func (l *Log) BeginCheckpoint(seed *store.Seed) (commit func() error, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	newSeq := l.seq + 1
+	f, size, err := createSegment(l.dir, newSeq)
+	if err != nil {
+		return nil, err
+	}
+	// Records in the old segment that only checkpoint seed now carries
+	// must be durable before the old segment can be collected; commit
+	// fsyncs the checkpoint, which supersedes them all.
+	old := l.f
+	old.Sync()
+	old.Close()
+	l.f, l.seq, l.size, l.dirty = f, newSeq, size, false
+	l.sinceCkpt.Store(0)
+	obs := l.obs
+
+	dir := l.dir
+	return func() error {
+		start := time.Now()
+		if err := writeCheckpoint(dir, newSeq, seed); err != nil {
+			return err
+		}
+		l.ckpts.Add(1)
+		removeBelow(dir, newSeq)
+		if obs != nil {
+			obs.CheckpointWritten(time.Since(start))
+		}
+		return nil
+	}, nil
+}
+
+// Close flushes and closes the log. Part of store.Persistence. The
+// caller must have stopped all mutation traffic first (drain the HTTP
+// server, then close): appends after Close fail with ErrClosed, which
+// is safe — those requests were never acknowledged — but rude.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+	}
+	return err
+}
+
+// Log implements store.Persistence.
+var _ store.Persistence = (*Log)(nil)

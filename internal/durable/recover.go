@@ -1,0 +1,415 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/opencsj/csj/internal/store"
+)
+
+// ErrCorrupt marks mid-log corruption: a record that is fully present
+// on disk but fails its checksum (or decodes to garbage), or a
+// checkpoint that exists but does not validate. Unlike a torn tail —
+// the partial final record of a crashed append, which recovery
+// silently truncates — corruption means bytes the log once fsynced
+// have changed, so recovery refuses to guess and demands an explicit
+// Repair (csjserve -repair) to truncate the log at the damage and
+// accept the loss of everything after it.
+var ErrCorrupt = errors.New("durable: log corrupt")
+
+// RecoveryStats describes what Open found and did.
+type RecoveryStats struct {
+	// CheckpointSeq is the sequence of the checkpoint recovery started
+	// from (0 when the store booted from an empty or checkpoint-less
+	// directory).
+	CheckpointSeq uint64
+	// Segments is how many WAL segments were replayed.
+	Segments int
+	// Records is how many mutation records were applied.
+	Records int64
+	// TruncatedRecords counts records dropped from the log: the torn
+	// tail of a crashed append, or — under Repair — everything at and
+	// after a corrupt record.
+	TruncatedRecords int64
+	// TruncatedBytes is the byte count behind TruncatedRecords.
+	TruncatedBytes int64
+	// Repaired reports that Repair actually discarded corrupt data.
+	Repaired bool
+	// RecoveredEntries is how many communities the rebuilt image holds.
+	RecoveredEntries int
+}
+
+// replayState accumulates the store image during recovery. Replay is
+// idempotent: a checkpoint may already contain a mutation whose record
+// still sits in the WAL (the checkpoint is a superset snapshot), so
+// puts overwrite and versions/ids only ratchet upward.
+type replayState struct {
+	entries map[int64]store.SeedEntry
+	nextID  int64
+	version uint64
+}
+
+func newReplayState(seed *store.Seed) *replayState {
+	rs := &replayState{entries: make(map[int64]store.SeedEntry)}
+	if seed != nil {
+		rs.nextID = seed.NextID
+		rs.version = seed.Version
+		for _, e := range seed.Entries {
+			rs.entries[e.ID] = e
+		}
+	}
+	return rs
+}
+
+func (rs *replayState) apply(r record) {
+	switch r.op {
+	case opPut:
+		rs.entries[r.id] = store.SeedEntry{ID: r.id, Version: r.version, Comm: r.comm}
+	case opDelete:
+		delete(rs.entries, r.id)
+	}
+	// ids are never reused and versions are store-wide monotonic, even
+	// across a delete of the highest id: both ratchet on every record.
+	if r.id > rs.nextID {
+		rs.nextID = r.id
+	}
+	if r.version > rs.version {
+		rs.version = r.version
+	}
+}
+
+func (rs *replayState) seed() *store.Seed {
+	seed := &store.Seed{NextID: rs.nextID, Version: rs.version}
+	seed.Entries = make([]store.SeedEntry, 0, len(rs.entries))
+	for _, e := range rs.entries {
+		seed.Entries = append(seed.Entries, e)
+	}
+	sort.Slice(seed.Entries, func(i, j int) bool { return seed.Entries[i].ID < seed.Entries[j].ID })
+	return seed
+}
+
+// segmentScan is the outcome of replaying one segment.
+type segmentScan struct {
+	records int64 // applied records
+	// tornAt >= 0 flags an incomplete record starting at that offset
+	// (the crashed append's partial frame); the caller truncates there.
+	tornAt    int64
+	tornBytes int64
+	// corruptAt >= 0 flags a fully-present record failing its checksum
+	// at that offset; err carries the detail.
+	corruptAt  int64
+	corruptErr error
+}
+
+// replaySegment streams one segment's records into rs, classifying any
+// damage it hits. It stops at the first bad record: everything after an
+// unreadable frame is unreachable anyway (frame boundaries come from
+// the lengths of the frames before them).
+func replaySegment(path string, wantSeq uint64, rs *replayState) (segmentScan, error) {
+	scan := segmentScan{tornAt: -1, corruptAt: -1}
+	f, err := os.Open(path)
+	if err != nil {
+		return scan, err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return scan, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return scan, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		// A segment too short for its own header can only be the crashed
+		// creation of the newest segment: treat it as fully torn.
+		scan.tornAt = 0
+		scan.tornBytes = size
+		return scan, nil
+	}
+	if string(hdr[:len(segMagic)]) != segMagic {
+		scan.corruptAt = 0
+		scan.corruptErr = fmt.Errorf("bad segment magic %q", hdr[:len(segMagic)])
+		return scan, nil
+	}
+	if got := binary.LittleEndian.Uint64(hdr[len(segMagic):]); got != wantSeq {
+		scan.corruptAt = 0
+		scan.corruptErr = fmt.Errorf("segment header seq %d does not match file name", got)
+		return scan, nil
+	}
+
+	off := int64(segHeaderSize)
+	frame := make([]byte, frameHeaderSize)
+	var payload []byte
+	for off < size {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			scan.tornAt = off // partial frame header: torn append
+			scan.tornBytes = size - off
+			return scan, nil
+		}
+		plen := int64(binary.LittleEndian.Uint32(frame[0:4]))
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if plen > maxRecordBytes {
+			scan.corruptAt = off
+			scan.corruptErr = fmt.Errorf("record claims an implausible %d-byte payload", plen)
+			return scan, nil
+		}
+		if off+frameHeaderSize+plen > size {
+			scan.tornAt = off // payload runs past EOF: torn append
+			scan.tornBytes = size - off
+			return scan, nil
+		}
+		if int64(cap(payload)) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return scan, fmt.Errorf("durable: reading %s: %w", path, err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			if off+frameHeaderSize+plen == size {
+				// The final record of the log failing its checksum is the
+				// torn tail of a crashed in-place append, not bit rot:
+				// truncate it like any other partial write.
+				scan.tornAt = off
+				scan.tornBytes = size - off
+				return scan, nil
+			}
+			scan.corruptAt = off
+			scan.corruptErr = fmt.Errorf("record checksum mismatch (have %08x, want %08x)", got, want)
+			return scan, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			scan.corruptAt = off
+			scan.corruptErr = fmt.Errorf("record decodes to garbage despite a valid checksum: %w", err)
+			return scan, nil
+		}
+		rs.apply(rec)
+		scan.records++
+		off += frameHeaderSize + plen
+	}
+	return scan, nil
+}
+
+// recover rebuilds the store image from dir: newest valid checkpoint,
+// then every WAL segment at or after it, truncating a torn tail and
+// refusing (or, under Repair, amputating) corruption.
+func (l *Log) recover() error {
+	ds, err := scanDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("durable: scanning %s: %w", l.dir, err)
+	}
+
+	// Newest checkpoint that validates wins. A checkpoint that exists
+	// but fails validation means fsynced bytes changed — refuse unless
+	// Repair, because falling back silently would serve stale state.
+	var seed *store.Seed
+	var base uint64
+	var ckptErr error
+	var invalid []uint64
+	for i := len(ds.checkpoints) - 1; i >= 0; i-- {
+		seq := ds.checkpoints[i]
+		s, err := loadCheckpoint(l.dir, seq)
+		if err == nil {
+			seed, base = s, seq
+			break
+		}
+		invalid = append(invalid, seq)
+		if ckptErr == nil {
+			ckptErr = err
+		}
+	}
+	if ckptErr != nil {
+		if !l.opts.Repair {
+			return fmt.Errorf("%w: %v; refusing to start — pass -repair to fall back to the newest valid state and accept the loss", ErrCorrupt, ckptErr)
+		}
+		// Remove the checkpoints repair skipped, or the next restart
+		// would trip over the same damage and demand repair again.
+		for _, seq := range invalid {
+			os.Remove(filepath.Join(l.dir, ckptName(seq)))
+		}
+		l.recovered.Repaired = true
+	}
+	l.recovered.CheckpointSeq = base
+
+	// Segments below the checkpoint are superseded garbage from a crash
+	// between checkpoint install and GC.
+	removeBelow(l.dir, base)
+
+	rs := newReplayState(seed)
+	var live []uint64
+	for _, seq := range ds.segments {
+		if seq >= base {
+			live = append(live, seq)
+		}
+	}
+	for i, seq := range live {
+		path := filepath.Join(l.dir, segName(seq))
+		scan, err := replaySegment(path, seq, rs)
+		if err != nil {
+			return err
+		}
+		l.recovered.Records += scan.records
+		l.recovered.Segments++
+		last := i == len(live)-1
+
+		if scan.corruptAt >= 0 {
+			if !l.opts.Repair {
+				return fmt.Errorf("%w: segment %s offset %d: %v; refusing to start — pass -repair to truncate the log here and drop everything after", ErrCorrupt, segName(seq), scan.corruptAt, scan.corruptErr)
+			}
+			dropped, bytes := countDroppable(l.dir, live[i+1:])
+			dropped += countFramesFrom(path, scan.corruptAt)
+			fi, _ := os.Stat(path)
+			if fi != nil {
+				bytes += fi.Size() - scan.corruptAt
+			}
+			if err := truncateSegment(path, scan.corruptAt); err != nil {
+				return err
+			}
+			for _, dseq := range live[i+1:] {
+				os.Remove(filepath.Join(l.dir, segName(dseq)))
+			}
+			l.recovered.TruncatedRecords += dropped
+			l.recovered.TruncatedBytes += bytes
+			l.recovered.Repaired = true
+			live = live[:i+1]
+			break
+		}
+		if scan.tornAt >= 0 {
+			if !last {
+				// A torn tail mid-sequence means a later segment exists:
+				// the log advanced past this point, so the gap is
+				// corruption, not a crashed final append.
+				if !l.opts.Repair {
+					return fmt.Errorf("%w: segment %s is truncated at offset %d but later segments exist; refusing to start — pass -repair to truncate the log here and drop everything after", ErrCorrupt, segName(seq), scan.tornAt)
+				}
+				dropped, bytes := countDroppable(l.dir, live[i+1:])
+				l.recovered.TruncatedRecords += dropped
+				l.recovered.TruncatedBytes += bytes
+				l.recovered.Repaired = true
+				for _, dseq := range live[i+1:] {
+					os.Remove(filepath.Join(l.dir, segName(dseq)))
+				}
+				live = live[:i+1]
+			}
+			if err := truncateSegment(path, scan.tornAt); err != nil {
+				return err
+			}
+			l.recovered.TruncatedRecords++
+			l.recovered.TruncatedBytes += scan.tornBytes
+			break
+		}
+	}
+
+	l.seed = rs.seed()
+	l.recovered.RecoveredEntries = len(l.seed.Entries)
+
+	// Open the newest surviving segment for appends, or start fresh.
+	if n := len(live); n > 0 {
+		seq := live[n-1]
+		f, size, err := openSegmentForAppend(l.dir, seq)
+		if err != nil {
+			return err
+		}
+		if size < int64(segHeaderSize) {
+			// The whole segment was torn away (crash during creation):
+			// rebuild it from scratch.
+			f.Close()
+			os.Remove(filepath.Join(l.dir, segName(seq)))
+			f, size, err = createSegment(l.dir, seq)
+			if err != nil {
+				return err
+			}
+		}
+		l.f, l.seq, l.size = f, seq, size
+	} else {
+		f, size, err := createSegment(l.dir, base)
+		if err != nil {
+			return err
+		}
+		l.f, l.seq, l.size = f, base, size
+	}
+	return nil
+}
+
+// truncateSegment chops a segment at off and fsyncs, so the dropped
+// bytes can never resurface after the next crash.
+func truncateSegment(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: opening %s for truncation: %w", path, err)
+	}
+	err = f.Truncate(off)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: truncating %s: %w", path, err)
+	}
+	return nil
+}
+
+// countFramesFrom best-effort counts the frames from off to the end of
+// a segment by walking length prefixes (checksums ignored — these
+// records are about to be dropped, the count just sizes the loss). A
+// partial or implausible frame counts as one and ends the walk.
+func countFramesFrom(path string, off int64) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	size := fi.Size()
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	var n int64
+	hdr := make([]byte, frameHeaderSize)
+	for off < size {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			return n + 1
+		}
+		plen := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if plen > maxRecordBytes || off+frameHeaderSize+plen > size {
+			return n + 1
+		}
+		n++
+		off += frameHeaderSize + plen
+	}
+	return n
+}
+
+// countDroppable best-effort counts the records and bytes in segments
+// that Repair is about to discard, so the truncation metric reflects
+// the real loss.
+func countDroppable(dir string, seqs []uint64) (records int64, bytes int64) {
+	for _, seq := range seqs {
+		path := filepath.Join(dir, segName(seq))
+		if fi, err := os.Stat(path); err == nil {
+			bytes += fi.Size()
+		}
+		rs := newReplayState(nil)
+		scan, err := replaySegment(path, seq, rs)
+		if err == nil {
+			records += scan.records
+			if scan.tornAt >= 0 || scan.corruptAt >= 0 {
+				records++ // the damaged record itself
+			}
+		}
+	}
+	return records, bytes
+}

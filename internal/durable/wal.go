@@ -1,0 +1,163 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout of a durable store directory:
+//
+//	wal-<seq>.log       append-only segment of mutation records
+//	checkpoint-<seq>    full store image installed atomically by rename
+//	*.tmp               in-progress checkpoint writes (removed on open)
+//
+// Checkpoint seq N is the store state at the moment segment N was
+// created, so recovery is: load the newest valid checkpoint N, then
+// replay every wal segment with seq >= N in ascending order. Segments
+// and checkpoints below the installed one are garbage-collected after
+// each checkpoint commit (and again on open, for crashes that died
+// between install and GC).
+
+const (
+	segMagic  = "CSJW\x01"
+	ckptMagic = "CSJK\x01"
+
+	// segHeaderSize is the segment preamble: magic + uint64 LE seq.
+	segHeaderSize = len(segMagic) + 8
+)
+
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
+func ckptName(seq uint64) string { return fmt.Sprintf("checkpoint-%016d", seq) }
+
+// parseSeq extracts the sequence number from a segment or checkpoint
+// file name, reporting ok = false for unrelated files.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	if len(digits) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// dirState is one scan of the store directory.
+type dirState struct {
+	segments    []uint64 // ascending
+	checkpoints []uint64 // ascending
+}
+
+// scanDir lists segments and checkpoints and removes leftover temp
+// files from checkpoint writes that never committed.
+func scanDir(dir string) (dirState, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return dirState{}, err
+	}
+	var st dirState
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // best effort
+			continue
+		}
+		if seq, ok := parseSeq(name, "wal-", ".log"); ok {
+			st.segments = append(st.segments, seq)
+		} else if seq, ok := parseSeq(name, "checkpoint-", ""); ok {
+			st.checkpoints = append(st.checkpoints, seq)
+		}
+	}
+	sort.Slice(st.segments, func(i, j int) bool { return st.segments[i] < st.segments[j] })
+	sort.Slice(st.checkpoints, func(i, j int) bool { return st.checkpoints[i] < st.checkpoints[j] })
+	return st, nil
+}
+
+// createSegment creates wal-<seq>.log with its header, fsyncs the file
+// and the directory, and returns the open file positioned for appends.
+func createSegment(dir string, seq uint64) (*os.File, int64, error) {
+	path := filepath.Join(dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: creating segment: %w", err)
+	}
+	hdr := make([]byte, 0, segHeaderSize)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, seq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("durable: writing segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("durable: syncing segment header: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, int64(segHeaderSize), nil
+}
+
+// openSegmentForAppend opens an existing segment at its current end.
+// size must be the validated logical size (recovery truncated any torn
+// tail before calling this).
+func openSegmentForAppend(dir string, seq uint64) (*os.File, int64, error) {
+	path := filepath.Join(dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: opening segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, fi.Size(), nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives a crash (POSIX requires this for the name, not just the
+// inode contents).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: opening dir for fsync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: fsyncing dir: %w", err)
+	}
+	return nil
+}
+
+// removeBelow garbage-collects segments and checkpoints with seq below
+// keep. Best effort: a file that survives is re-collected next time.
+func removeBelow(dir string, keep uint64) {
+	st, err := scanDir(dir)
+	if err != nil {
+		return
+	}
+	for _, seq := range st.segments {
+		if seq < keep {
+			os.Remove(filepath.Join(dir, segName(seq)))
+		}
+	}
+	for _, seq := range st.checkpoints {
+		if seq < keep {
+			os.Remove(filepath.Join(dir, ckptName(seq)))
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/store"
+)
+
+// testComm builds a deterministic community for round-trip checks.
+func testComm(name string, seed int64, n, d int) *csj.Community {
+	rng := rand.New(rand.NewSource(seed))
+	users := make([]csj.Vector, n)
+	for i := range users {
+		u := make([]int32, d)
+		for j := range u {
+			u[j] = rng.Int31n(16)
+		}
+		users[i] = u
+	}
+	return &csj.Community{Name: name, Category: -1, Users: users}
+}
+
+func openLog(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l
+}
+
+// segPath returns the path of the newest WAL segment in dir.
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	ds, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.segments) == 0 {
+		t.Fatal("no WAL segments in", dir)
+	}
+	return filepath.Join(dir, segName(ds.segments[len(ds.segments)-1]))
+}
+
+// recordOffsets parses a segment and returns the byte offset of every
+// frame, so fault tests can aim their damage precisely.
+func recordOffsets(t *testing.T, path string) []int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	off := int64(segHeaderSize)
+	for off+frameHeaderSize <= int64(len(data)) {
+		offs = append(offs, off)
+		plen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += frameHeaderSize + plen
+	}
+	return offs
+}
+
+// serializeSeed renders a recovered image to bytes, so two recoveries
+// can be compared for exact equality.
+func serializeSeed(t *testing.T, seed *store.Seed) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, seed.NextID)
+	binary.Write(&buf, binary.LittleEndian, seed.Version)
+	for _, e := range seed.Entries {
+		binary.Write(&buf, binary.LittleEndian, e.ID)
+		binary.Write(&buf, binary.LittleEndian, e.Version)
+		if err := csj.WriteCommunityBinary(&buf, e.Comm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestEmptyDirStartsEmpty(t *testing.T) {
+	l := openLog(t, t.TempDir(), Options{Fsync: FsyncOff})
+	defer l.Close()
+	seed := l.Seed()
+	if seed.NextID != 0 || seed.Version != 0 || len(seed.Entries) != 0 {
+		t.Errorf("fresh log seed = %+v, want empty", seed)
+	}
+	rs := l.Recovery()
+	if rs.Records != 0 || rs.TruncatedRecords != 0 {
+		t.Errorf("fresh log recovery = %+v, want zeroes", rs)
+	}
+}
+
+func TestAppendCloseReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, Options{Fsync: FsyncAlways})
+	c1, c2 := testComm("alpha", 1, 8, 4), testComm("beta", 2, 12, 4)
+	if err := l.AppendPut(1, 1, c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut(2, 2, c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, Options{})
+	defer l2.Close()
+	rs := l2.Recovery()
+	if rs.Records != 3 || rs.TruncatedRecords != 0 {
+		t.Errorf("recovery = %+v, want 3 records, 0 truncated", rs)
+	}
+	seed := l2.Seed()
+	if seed.NextID != 2 || seed.Version != 3 {
+		t.Errorf("seed counters = (%d, %d), want (2, 3)", seed.NextID, seed.Version)
+	}
+	if len(seed.Entries) != 1 || seed.Entries[0].ID != 2 {
+		t.Fatalf("seed entries = %+v, want only community 2", seed.Entries)
+	}
+	got := seed.Entries[0].Comm
+	var wantBuf, gotBuf bytes.Buffer
+	csj.WriteCommunityBinary(&wantBuf, c2)
+	csj.WriteCommunityBinary(&gotBuf, got)
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Error("recovered community differs from the appended one")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l := openLog(t, t.TempDir(), Options{Fsync: FsyncOff})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete(1, 1); err != ErrClosed {
+		t.Errorf("append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double Close = %v, want nil", err)
+	}
+}
+
+func TestCheckpointInstallAndGC(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, Options{Fsync: FsyncOff})
+	comms := make([]*csj.Community, 5)
+	seed := &store.Seed{}
+	for i := range comms {
+		comms[i] = testComm("c", int64(i), 6, 3)
+		id, v := int64(i+1), uint64(i+1)
+		if err := l.AppendPut(id, v, comms[i]); err != nil {
+			t.Fatal(err)
+		}
+		seed.Entries = append(seed.Entries, store.SeedEntry{ID: id, Version: v, Comm: comms[i]})
+	}
+	seed.NextID, seed.Version = 5, 5
+
+	commit, err := l.BeginCheckpoint(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	// One more append after the rotation lands in the new segment.
+	if err := l.AppendDelete(3, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.segments) != 1 || ds.segments[0] != 1 {
+		t.Errorf("segments after checkpoint GC = %v, want [1]", ds.segments)
+	}
+	if len(ds.checkpoints) != 1 || ds.checkpoints[0] != 1 {
+		t.Errorf("checkpoints = %v, want [1]", ds.checkpoints)
+	}
+
+	l2 := openLog(t, dir, Options{})
+	defer l2.Close()
+	rs := l2.Recovery()
+	if rs.CheckpointSeq != 1 {
+		t.Errorf("recovery started from checkpoint %d, want 1", rs.CheckpointSeq)
+	}
+	if rs.Records != 1 {
+		t.Errorf("recovery replayed %d WAL records, want 1 (the post-checkpoint delete)", rs.Records)
+	}
+	got := l2.Seed()
+	if got.NextID != 5 || got.Version != 6 || len(got.Entries) != 4 {
+		t.Errorf("recovered (nextID=%d version=%d entries=%d), want (5, 6, 4)",
+			got.NextID, got.Version, len(got.Entries))
+	}
+	for _, e := range got.Entries {
+		if e.ID == 3 {
+			t.Error("community 3 survived its post-checkpoint delete")
+		}
+	}
+}
+
+func TestRecoveryIdenticalAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, Options{Fsync: FsyncOff})
+	for i := 0; i < 8; i++ {
+		if err := l.AppendPut(int64(i+1), uint64(i+1), testComm("r", int64(i), 10, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendDelete(4, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, Options{})
+	first := serializeSeed(t, l2.Seed())
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openLog(t, dir, Options{})
+	defer l3.Close()
+	second := serializeSeed(t, l3.Seed())
+	if !bytes.Equal(first, second) {
+		t.Error("two recoveries of an untouched directory produced different images")
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	cases := map[string]FsyncPolicy{
+		"always": FsyncAlways, "": FsyncAlways, "ALWAYS": FsyncAlways,
+		"interval": FsyncEveryInterval,
+		"off":      FsyncOff, "never": FsyncOff,
+	}
+	for in, want := range cases {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("ParseFsyncPolicy accepted garbage")
+	}
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncEveryInterval, FsyncOff} {
+		rt, err := ParseFsyncPolicy(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round trip of %v failed: %v, %v", p, rt, err)
+		}
+	}
+}
+
+func TestStatusReflectsActivity(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, Options{Fsync: FsyncOff})
+	defer l.Close()
+	if err := l.AppendPut(1, 1, testComm("s", 7, 4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if !st.Enabled || st.Dir != dir {
+		t.Errorf("status = %+v, want enabled in %s", st, dir)
+	}
+	if st.WALAppends != 1 || st.AppendsSinceCheckpoint != 1 {
+		t.Errorf("append counters = (%d, %d), want (1, 1)", st.WALAppends, st.AppendsSinceCheckpoint)
+	}
+	if st.Fsync != "off" {
+		t.Errorf("fsync = %q, want off", st.Fsync)
+	}
+}

@@ -67,10 +67,10 @@ func TestFaultInjectedPanicReturns500AndServerSurvives(t *testing.T) {
 		t.Errorf("500 body = %v, want internal server error", body)
 	}
 	// The process must keep serving after the panic.
-	var health map[string]string
+	var health HealthResponse
 	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
-	if health["status"] != "ok" {
-		t.Errorf("health after panic = %v", health)
+	if health.Status != "ok" {
+		t.Errorf("health after panic = %+v", health)
 	}
 }
 

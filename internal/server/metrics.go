@@ -7,6 +7,7 @@ import (
 
 	csj "github.com/opencsj/csj"
 	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/durable"
 	"github.com/opencsj/csj/internal/metrics"
 	"github.com/opencsj/csj/internal/store"
 )
@@ -70,6 +71,13 @@ type serverMetrics struct {
 	cacheEvictedBytes *metrics.Counter
 	cacheBytes        *metrics.Gauge
 	cacheEntries      *metrics.Gauge
+
+	// Durability series (DESIGN.md §11), fed by the write-ahead log
+	// through the durable.Observer interface.
+	walAppends        *metrics.Counter
+	walFsyncSeconds   *metrics.Histogram
+	checkpointSeconds *metrics.Histogram
+	recoveryTruncated *metrics.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -104,6 +112,16 @@ func newServerMetrics() *serverMetrics {
 			"Approximate resident bytes of the prepared-view cache.", nil),
 		cacheEntries: reg.Gauge("csj_prepared_cache_entries",
 			"Views resident in the prepared-view cache.", nil),
+		walAppends: reg.Counter("csj_wal_appends_total",
+			"Mutation records appended to the write-ahead log.", nil),
+		walFsyncSeconds: reg.Histogram("csj_wal_fsync_seconds",
+			"Duration of WAL fsyncs (per append under -fsync=always, per tick under interval).",
+			nil, nil),
+		checkpointSeconds: reg.Histogram("csj_checkpoint_seconds",
+			"Duration of durable checkpoint installs (write, fsync, atomic rename).",
+			nil, nil),
+		recoveryTruncated: reg.Counter("csj_recovery_truncated_records_total",
+			"WAL records dropped at startup as a torn tail (or by -repair).", nil),
 	}
 	m.unmatched = m.route("other", "other")
 	return m
@@ -176,6 +194,27 @@ func (m *serverMetrics) CacheEvicted(bytes int64) {
 	m.cacheEvictedBytes.Add(bytes)
 	m.cacheBytes.Add(-bytes)
 	m.cacheEntries.Dec()
+}
+
+// serverMetrics also implements durable.Observer, so a wired
+// write-ahead log feeds the csj_wal_* / csj_checkpoint_* /
+// csj_recovery_* series. WALAppend and WALFsync fire under the store's
+// mutation lock (or from the background flusher); all instruments
+// underneath are atomic.
+var _ durable.Observer = (*serverMetrics)(nil)
+
+func (m *serverMetrics) WALAppend() { m.walAppends.Inc() }
+
+func (m *serverMetrics) WALFsync(d time.Duration) {
+	m.walFsyncSeconds.Observe(d.Seconds())
+}
+
+func (m *serverMetrics) CheckpointWritten(d time.Duration) {
+	m.checkpointSeconds.Observe(d.Seconds())
+}
+
+func (m *serverMetrics) RecoveryTruncated(n int64) {
+	m.recoveryTruncated.Add(n)
 }
 
 // instrument attaches the join observers of the heavy endpoints to a

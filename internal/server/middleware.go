@@ -12,6 +12,7 @@ import (
 	"time"
 
 	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/durable"
 )
 
 // This file is the hardening layer of the HTTP service: panic
@@ -49,6 +50,13 @@ type Config struct {
 	// default: profiles reveal internals and profiling costs CPU, so
 	// expose it on trusted networks only.
 	EnablePprof bool
+	// Durable, when non-nil, is an opened write-ahead log the community
+	// store persists through (DESIGN.md §11). The server seeds the store
+	// from the log's recovered image, feeds its metrics with the log's
+	// instrumentation, and reports its Status under /healthz. The caller
+	// retains responsibility for the log's lifetime; Server.Close flushes
+	// and closes it via the store.
+	Durable *durable.Log
 }
 
 const (

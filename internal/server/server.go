@@ -16,6 +16,7 @@ import (
 	"time"
 
 	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/durable"
 	"github.com/opencsj/csj/internal/store"
 )
 
@@ -74,13 +75,28 @@ func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 	if cacheBytes < 0 {
 		cacheBytes = 0 // store convention: <= 0 removes the cap
 	}
-	// The interface value must stay nil when metrics are off; a typed
+	// The interface values must stay nil when metrics are off; a typed
 	// nil *serverMetrics would pass the store's nil checks and panic.
 	var obs store.Observer
 	if s.metrics != nil {
 		obs = s.metrics
 	}
-	s.store = store.New(store.Config{MaxCacheBytes: cacheBytes, Observer: obs})
+	var p store.Persistence
+	var seed *store.Seed
+	if s.cfg.Durable != nil {
+		p = s.cfg.Durable
+		seed = s.cfg.Durable.Seed()
+		if s.metrics != nil {
+			s.cfg.Durable.SetObserver(s.metrics)
+		}
+	}
+	s.store = store.New(store.Config{
+		MaxCacheBytes: cacheBytes,
+		Observer:      obs,
+		Persistence:   p,
+		Seed:          seed,
+		Logf:          s.logf,
+	})
 	s.handle("GET /healthz", s.handleHealth)
 	s.handle("POST /communities", s.handleCreateCommunity)
 	s.handle("GET /communities", s.handleListCommunities)
@@ -308,8 +324,29 @@ type JoinUserResponse struct {
 
 // ---- handlers ----
 
+// HealthResponse is the GET /healthz body: liveness plus the
+// durability state of the community store, so operators (and the
+// crashguard harness) can see at a glance whether writes survive a
+// crash and what recovery did at the last start.
+type HealthResponse struct {
+	Status     string         `json:"status"`
+	Durability durable.Status `json:"durability"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthResponse{Status: "ok"}
+	if s.cfg.Durable != nil {
+		resp.Durability = s.cfg.Durable.Status()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// Close flushes and closes the store's persistence layer. Call it only
+// after the HTTP server has fully stopped (drained or force-closed):
+// an acknowledged Put is durable the moment it was acknowledged, and
+// closing after the drain guarantees no handler is mid-append.
+func (s *Server) Close() error {
+	return s.store.Close()
 }
 
 func (s *Server) handleCreateCommunity(w http.ResponseWriter, r *http.Request) {
@@ -330,7 +367,13 @@ func (s *Server) handleCreateCommunity(w http.ResponseWriter, r *http.Request) {
 	}
 	// The store deep-copies on ingest, so the decoder's slices (and any
 	// caller still holding them) can never mutate the stored community.
-	e := s.store.Create(c)
+	// With durability on, Create returns only after the mutation is in
+	// the WAL — the 201 below is the durability acknowledgement.
+	e, err := s.store.Create(c)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
 	s.writeJSON(w, http.StatusCreated, info(e))
 }
 
@@ -404,7 +447,12 @@ func (s *Server) handleDeleteCommunity(w http.ResponseWriter, r *http.Request) {
 	// Delete atomically checks existence, publishes the new snapshot,
 	// and invalidates the community's cached views; in-flight joins keep
 	// their pre-delete snapshots and finish consistently.
-	if !s.store.Delete(id) {
+	ok, err := s.store.Delete(id)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
 		s.writeLookupErr(w, fmt.Errorf("no community %d", id))
 		return
 	}

@@ -72,10 +72,13 @@ func randUsers(rng *rand.Rand, n, d int, maxVal int32) [][]int32 {
 
 func TestHealth(t *testing.T) {
 	ts := newTestServer(t)
-	var out map[string]string
+	var out HealthResponse
 	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &out)
-	if out["status"] != "ok" {
-		t.Errorf("health = %v", out)
+	if out.Status != "ok" {
+		t.Errorf("health = %+v", out)
+	}
+	if out.Durability.Enabled {
+		t.Errorf("memory-only server reports durability enabled: %+v", out.Durability)
 	}
 }
 

@@ -21,8 +21,8 @@ import (
 func TestStoreCacheHitPreparedApZeroAllocs(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(42))
-	b := st.Create(testCommunity("b", rng, 96, 8))
-	a := st.Create(testCommunity("a", rng, 128, 8))
+	b := mustCreate(t, st, testCommunity("b", rng, 96, 8))
+	a := mustCreate(t, st, testCommunity("a", rng, 128, 8))
 
 	const eps = 2
 	opts := &csj.Options{Epsilon: eps}
@@ -77,8 +77,8 @@ func TestStoreCacheHitPreparedApZeroAllocs(t *testing.T) {
 func BenchmarkStoreCacheHitPreparedAp(b *testing.B) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(42))
-	cb := st.Create(testCommunity("b", rng, 96, 8))
-	ca := st.Create(testCommunity("a", rng, 128, 8))
+	cb := mustCreate(b, st, testCommunity("b", rng, 96, 8))
+	ca := mustCreate(b, st, testCommunity("a", rng, 128, 8))
 	const eps = 2
 	opts := &csj.Options{Epsilon: eps}
 	sc := csj.NewScratch()

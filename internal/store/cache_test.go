@@ -14,7 +14,7 @@ import (
 func TestCacheHitMissAndKeying(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(10))
-	e := st.Create(testCommunity("c", rng, 16, 8))
+	e := mustCreate(t, st, testCommunity("c", rng, 16, 8))
 	snap := st.Snapshot()
 
 	v1, err := snap.Prepared(e.ID, 2, 0)
@@ -64,7 +64,7 @@ func TestCacheHitMissAndKeying(t *testing.T) {
 func TestCacheSingleflight(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(11))
-	e := st.Create(testCommunity("c", rng, 32, 8))
+	e := mustCreate(t, st, testCommunity("c", rng, 32, 8))
 	snap := st.Snapshot()
 
 	const waiters = 9
@@ -123,7 +123,7 @@ func TestCacheSingleflight(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(12))
-	e := st.Create(testCommunity("c", rng, 32, 8))
+	e := mustCreate(t, st, testCommunity("c", rng, 32, 8))
 	snap := st.Snapshot()
 
 	// Size the cap from a real footprint: room for one view plus a bit,
@@ -164,8 +164,8 @@ func TestCacheEviction(t *testing.T) {
 func TestCacheInvalidationOnDelete(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(13))
-	e := st.Create(testCommunity("c", rng, 16, 8))
-	other := st.Create(testCommunity("d", rng, 16, 8))
+	e := mustCreate(t, st, testCommunity("c", rng, 16, 8))
+	other := mustCreate(t, st, testCommunity("d", rng, 16, 8))
 	snap := st.Snapshot()
 	if _, err := snap.Prepared(e.ID, 1, 0); err != nil {
 		t.Fatal(err)
@@ -173,7 +173,7 @@ func TestCacheInvalidationOnDelete(t *testing.T) {
 	if _, err := snap.Prepared(other.ID, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if !st.Delete(e.ID) {
+	if !mustDelete(t, st, e.ID) {
 		t.Fatal("Delete failed")
 	}
 	cs := st.CacheStats()
@@ -190,7 +190,7 @@ func TestCacheInvalidationOnDelete(t *testing.T) {
 func TestCacheStaleBuildDiscarded(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(14))
-	e := st.Create(testCommunity("c", rng, 16, 8))
+	e := mustCreate(t, st, testCommunity("c", rng, 16, 8))
 	snap := st.Snapshot() // taken before the delete: still sees e
 
 	deleted := make(chan struct{})
@@ -207,7 +207,7 @@ func TestCacheStaleBuildDiscarded(t *testing.T) {
 	for st.CacheStats().Misses == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	if !st.Delete(e.ID) {
+	if !mustDelete(t, st, e.ID) {
 		t.Fatal("Delete failed")
 	}
 	close(deleted)
@@ -258,14 +258,14 @@ func TestObserverMatchesStats(t *testing.T) {
 	obs := &countingObserver{}
 	st := New(Config{Observer: obs})
 	rng := rand.New(rand.NewSource(15))
-	e := st.Create(testCommunity("c", rng, 16, 8))
+	e := mustCreate(t, st, testCommunity("c", rng, 16, 8))
 	snap := st.Snapshot()
 	for i := 0; i < 3; i++ {
 		if _, err := snap.Prepared(e.ID, 1, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st.Delete(e.ID)
+	mustDelete(t, st, e.ID)
 
 	obs.mu.Lock()
 	defer obs.mu.Unlock()

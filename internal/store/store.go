@@ -7,6 +7,12 @@
 // turns encoding into a once-per-(community, version, epsilon, parts)
 // cost amortized across all requests — "index once, probe many" — so
 // a warmed-up /matrix performs zero core.Prepare calls (DESIGN.md §10).
+//
+// A Store is memory-only by default; wiring a Persistence (the
+// write-ahead log of internal/durable, DESIGN.md §11) makes every
+// mutation durable before it is acknowledged, with the read path —
+// snapshots, cached views, the 0-alloc prepared fast path — completely
+// untouched.
 package store
 
 import (
@@ -22,6 +28,49 @@ import (
 // ErrUnknownCommunity reports a community id absent from a snapshot.
 var ErrUnknownCommunity = errors.New("store: unknown community")
 
+// Persistence is the optional durability hook under the store,
+// implemented by internal/durable.Log. The store appends every
+// mutation *before* applying it — an append error means the mutation
+// never happened — and drives checkpoints through BeginCheckpoint so
+// the rotation point is exactly consistent with the seed it hands
+// over. All methods must be safe for concurrent use.
+type Persistence interface {
+	// AppendPut logs a community ingest under the id and version the
+	// mutation will carry.
+	AppendPut(id int64, version uint64, c *csj.Community) error
+	// AppendDelete logs a community removal.
+	AppendDelete(id int64, version uint64) error
+	// CheckpointDue reports that enough writes accumulated for an
+	// automatic checkpoint; cheap, polled after every mutation.
+	CheckpointDue() bool
+	// BeginCheckpoint is called under the store's mutation lock with
+	// seed equal to the exact current state; it must return quickly
+	// (rotate, don't write) and hand back a commit closure the store
+	// runs outside the lock to durably install the checkpoint.
+	BeginCheckpoint(seed *Seed) (commit func() error, err error)
+	// Close flushes and releases the persistence layer. The store's
+	// Close forwards here; mutation traffic must be drained first.
+	Close() error
+}
+
+// Seed is a full store image: what a Persistence hands back after
+// recovery, and what the store hands to BeginCheckpoint. NextID and
+// Version persist independently of Entries so ids are never reused and
+// versions never regress, even across deletes of the newest community.
+type Seed struct {
+	NextID  int64
+	Version uint64
+	Entries []SeedEntry // ascending ID
+}
+
+// SeedEntry is one community of a Seed. The store takes ownership of
+// Comm when seeding (recovery output is never aliased by callers).
+type SeedEntry struct {
+	ID      int64
+	Version uint64
+	Comm    *csj.Community
+}
+
 // Config parameterizes a Store.
 type Config struct {
 	// MaxCacheBytes caps the prepared-view cache's approximate resident
@@ -33,6 +82,16 @@ type Config struct {
 	// observation. Callbacks fire concurrently from request goroutines
 	// and must be safe for concurrent use.
 	Observer Observer
+	// Persistence, when non-nil, makes every mutation durable before it
+	// is applied or acknowledged (DESIGN.md §11). Nil keeps the store
+	// memory-only with zero overhead.
+	Persistence Persistence
+	// Seed, when non-nil, is the recovered image the store boots from
+	// (Persistence recovery output). Entries must be sorted by ID.
+	Seed *Seed
+	// Logf, when non-nil, receives background-failure log lines
+	// (checkpoint errors from the automatic checkpoint goroutine).
+	Logf func(format string, args ...any)
 }
 
 // Entry is one stored community. Entries are immutable: the community
@@ -52,6 +111,14 @@ type Entry struct {
 // are safe for concurrent use; reads (Snapshot) are wait-free.
 type Store struct {
 	cache *cache
+	p     Persistence
+	logf  func(format string, args ...any)
+
+	// checkpointing gates the automatic background checkpoint goroutine
+	// to one at a time; ckptMu serializes it with explicit Checkpoint
+	// calls.
+	checkpointing atomic.Bool
+	ckptMu        sync.Mutex
 
 	mu      sync.Mutex // serializes mutations; never held by readers
 	nextID  int64
@@ -59,41 +126,75 @@ type Store struct {
 	snap    atomic.Pointer[Snapshot]
 }
 
-// New returns an empty store.
+// New returns a store, empty unless cfg.Seed carries a recovered image.
 func New(cfg Config) *Store {
-	s := &Store{cache: newCache(cfg.MaxCacheBytes, cfg.Observer)}
-	s.snap.Store(&Snapshot{store: s, entries: map[int64]*Entry{}})
+	s := &Store{
+		cache: newCache(cfg.MaxCacheBytes, cfg.Observer),
+		p:     cfg.Persistence,
+		logf:  cfg.Logf,
+	}
+	entries := map[int64]*Entry{}
+	if cfg.Seed != nil {
+		s.nextID = cfg.Seed.NextID
+		s.version = cfg.Seed.Version
+		for _, se := range cfg.Seed.Entries {
+			e := &Entry{ID: se.ID, Version: se.Version, Comm: se.Comm}
+			entries[e.ID] = e
+			s.cache.setLive(e.ID, e.Version)
+		}
+	}
+	s.snap.Store(newSnapshot(s, entries))
 	return s
 }
 
 // Create deep-copies the community into the store and returns its
 // entry. The caller keeps full ownership of c; later mutations of it
-// cannot reach the stored copy.
-func (s *Store) Create(c *csj.Community) *Entry {
+// cannot reach the stored copy. With persistence attached, the
+// mutation is appended (and, per the fsync policy, made durable)
+// before it is applied: an error means the community was not stored.
+func (s *Store) Create(c *csj.Community) (*Entry, error) {
 	clone := c.Clone()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	s.version++
-	e := &Entry{ID: s.nextID, Version: s.version, Comm: clone}
+	id, version := s.nextID+1, s.version+1
+	if s.p != nil {
+		if err := s.p.AppendPut(id, version, clone); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("store: persisting community: %w", err)
+		}
+	}
+	s.nextID, s.version = id, version
+	e := &Entry{ID: id, Version: version, Comm: clone}
 	s.cache.setLive(e.ID, e.Version)
 	s.publishLocked(func(m map[int64]*Entry) { m[e.ID] = e })
-	return e
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return e, nil
 }
 
 // Delete removes the community and invalidates its cached views.
 // Snapshots taken before the delete still see the entry (and may keep
-// joining it); only new snapshots observe the removal.
-func (s *Store) Delete(id int64) bool {
+// joining it); only new snapshots observe the removal. With
+// persistence attached the removal is appended first: an error means
+// the community is still there.
+func (s *Store) Delete(id int64) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.snap.Load().entries[id]; !ok {
-		return false
+		s.mu.Unlock()
+		return false, nil
 	}
-	s.version++
+	version := s.version + 1
+	if s.p != nil {
+		if err := s.p.AppendDelete(id, version); err != nil {
+			s.mu.Unlock()
+			return false, fmt.Errorf("store: persisting delete of community %d: %w", id, err)
+		}
+	}
+	s.version = version
 	s.cache.invalidate(id)
 	s.publishLocked(func(m map[int64]*Entry) { delete(m, id) })
-	return true
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return true, nil
 }
 
 // publishLocked installs a new snapshot derived from the current one by
@@ -105,12 +206,79 @@ func (s *Store) publishLocked(mutate func(map[int64]*Entry)) {
 		m[k] = v
 	}
 	mutate(m)
+	s.snap.Store(newSnapshot(s, m))
+}
+
+func newSnapshot(s *Store, m map[int64]*Entry) *Snapshot {
 	list := make([]*Entry, 0, len(m))
 	for _, e := range m {
 		list = append(list, e)
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
-	s.snap.Store(&Snapshot{store: s, entries: m, list: list})
+	return &Snapshot{store: s, entries: m, list: list}
+}
+
+// seedLocked captures the exact current state as a Seed. Entry
+// communities are shared, not copied — they are immutable. Callers
+// must hold s.mu.
+func (s *Store) seedLocked() *Seed {
+	list := s.snap.Load().list
+	seed := &Seed{NextID: s.nextID, Version: s.version}
+	seed.Entries = make([]SeedEntry, len(list))
+	for i, e := range list {
+		seed.Entries[i] = SeedEntry{ID: e.ID, Version: e.Version, Comm: e.Comm}
+	}
+	return seed
+}
+
+// maybeCheckpoint starts one background checkpoint when the
+// persistence layer says it is due.
+func (s *Store) maybeCheckpoint() {
+	if s.p == nil || !s.p.CheckpointDue() {
+		return
+	}
+	if !s.checkpointing.CompareAndSwap(false, true) {
+		return // one automatic checkpoint at a time
+	}
+	go func() {
+		defer s.checkpointing.Store(false)
+		if err := s.Checkpoint(); err != nil {
+			if s.logf != nil {
+				s.logf("store: background checkpoint failed: %v", err)
+			}
+		}
+	}()
+}
+
+// Checkpoint durably snapshots the current state into the persistence
+// layer and lets it collect the superseded WAL. A no-op without
+// persistence. Mutations are only blocked for the segment rotation,
+// not for the checkpoint write itself.
+func (s *Store) Checkpoint() error {
+	if s.p == nil {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	seed := s.seedLocked()
+	commit, err := s.p.BeginCheckpoint(seed)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return commit()
+}
+
+// Close flushes and closes the persistence layer (a no-op for a
+// memory-only store). Callers must drain mutation traffic first: the
+// HTTP server shuts down before its store closes, so a SIGTERM during
+// ingest can never drop an acknowledged Put.
+func (s *Store) Close() error {
+	if s.p == nil {
+		return nil
+	}
+	return s.p.Close()
 }
 
 // Snapshot returns the current consistent view. The snapshot never

@@ -7,6 +7,28 @@ import (
 	csj "github.com/opencsj/csj"
 )
 
+// mustCreate ingests a community into a store that has no reason to
+// fail (memory-only, or a healthy persistence layer).
+func mustCreate(t testing.TB, st *Store, c *csj.Community) *Entry {
+	t.Helper()
+	e, err := st.Create(c)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return e
+}
+
+// mustDelete removes a community, failing the test only on a
+// persistence error (the bool result is the caller's to assert).
+func mustDelete(t testing.TB, st *Store, id int64) bool {
+	t.Helper()
+	ok, err := st.Delete(id)
+	if err != nil {
+		t.Fatalf("Delete(%d): %v", id, err)
+	}
+	return ok
+}
+
 func testCommunity(name string, rng *rand.Rand, n, d int) *csj.Community {
 	users := make([]csj.Vector, n)
 	for i := range users {
@@ -22,8 +44,8 @@ func testCommunity(name string, rng *rand.Rand, n, d int) *csj.Community {
 func TestCreateGetDelete(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(1))
-	e1 := st.Create(testCommunity("one", rng, 10, 4))
-	e2 := st.Create(testCommunity("two", rng, 12, 4))
+	e1 := mustCreate(t, st, testCommunity("one", rng, 10, 4))
+	e2 := mustCreate(t, st, testCommunity("two", rng, 12, 4))
 	if e1.ID == e2.ID {
 		t.Fatalf("ids not unique: %d", e1.ID)
 	}
@@ -37,17 +59,17 @@ func TestCreateGetDelete(t *testing.T) {
 	if st.Len() != 2 {
 		t.Errorf("Len = %d, want 2", st.Len())
 	}
-	if !st.Delete(e1.ID) {
+	if !mustDelete(t, st, e1.ID) {
 		t.Fatal("Delete returned false for a stored community")
 	}
-	if st.Delete(e1.ID) {
+	if mustDelete(t, st, e1.ID) {
 		t.Error("second Delete returned true")
 	}
 	if _, ok := st.Snapshot().Get(e1.ID); ok {
 		t.Error("deleted community still visible in a fresh snapshot")
 	}
 	// Ids are never reused, even after a delete.
-	e3 := st.Create(testCommunity("three", rng, 8, 4))
+	e3 := mustCreate(t, st, testCommunity("three", rng, 8, 4))
 	if e3.ID == e1.ID {
 		t.Errorf("id %d was reused", e1.ID)
 	}
@@ -57,7 +79,7 @@ func TestListSortedByID(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 5; i++ {
-		st.Create(testCommunity("c", rng, 4, 3))
+		mustCreate(t, st, testCommunity("c", rng, 4, 3))
 	}
 	list := st.Snapshot().List()
 	if len(list) != 5 {
@@ -76,7 +98,7 @@ func TestListSortedByID(t *testing.T) {
 func TestIngestDeepCopy(t *testing.T) {
 	st := New(Config{})
 	orig := &csj.Community{Name: "alias", Category: -1, Users: []csj.Vector{{1, 2, 3}, {4, 5, 6}}}
-	e := st.Create(orig)
+	e := mustCreate(t, st, orig)
 
 	orig.Users[0][0] = 99
 	orig.Users[1] = []int32{7, 8, 9}
@@ -104,9 +126,9 @@ func TestIngestDeepCopy(t *testing.T) {
 func TestSnapshotIsolation(t *testing.T) {
 	st := New(Config{})
 	rng := rand.New(rand.NewSource(3))
-	e := st.Create(testCommunity("doomed", rng, 10, 4))
+	e := mustCreate(t, st, testCommunity("doomed", rng, 10, 4))
 	old := st.Snapshot()
-	if !st.Delete(e.ID) {
+	if !mustDelete(t, st, e.ID) {
 		t.Fatal("Delete failed")
 	}
 	if _, ok := old.Get(e.ID); !ok {

@@ -2,11 +2,16 @@ package vector
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 )
 
 // FuzzReadCSV checks that arbitrary input never panics the CSV parser
-// and that everything it accepts round-trips losslessly.
+// and that everything it accepts round-trips losslessly. The corpus
+// seeds the fixed ingest bugs of the hardening pass: the final line
+// without a trailing newline, rows wider than the old scanner token
+// cap, and negative counters.
 func FuzzReadCSV(f *testing.F) {
 	f.Add("# category=3 name=X\n1,2,3\n4,5,6\n")
 	f.Add("0\n")
@@ -14,6 +19,11 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("")
 	f.Add("#\n\n  7 , 8 \n")
 	f.Add("9999999999999,1\n")
+	f.Add("1,2,3\n4,5,6") // no trailing newline
+	f.Add("1,-2\n")       // negative counter
+	f.Add("# name=wide\n" + strings.Repeat("7,", 4096) + "7\n")
+	f.Add(",\n,\n")
+	f.Add("\r\n1,2\r\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		c, err := ReadCSV(bytes.NewReader([]byte(in)))
 		if err != nil {
@@ -34,7 +44,10 @@ func FuzzReadCSV(f *testing.F) {
 }
 
 // FuzzReadBinary checks that arbitrary bytes never panic the binary
-// parser.
+// parser. The corpus seeds the crafted-header attacks the ingest
+// hardening fixed: headers claiming ~2^30 users from a tiny file,
+// shapes whose product overflows the payload cap, 0xFFFFFFFF counters
+// (int32(-1)), and oversized name lengths.
 func FuzzReadBinary(f *testing.F) {
 	good := &Community{Name: "x", Category: 3, Users: []Vector{{1, 2}, {3, 4}}}
 	var buf bytes.Buffer
@@ -45,6 +58,16 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("CSJC\x01"))
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add(craftBinaryHeader(0, 0, 1<<30, 3, nil))      // huge user-count claim
+	f.Add(craftBinaryHeader(0, 0, 1<<26, 1<<6, nil))   // n*d*4 overflows the cap
+	f.Add(craftBinaryHeader(1<<30, 0, 1, 1, nil))      // oversized name length
+	f.Add(craftBinaryHeader(0, 0xFFFFFFFF, 1, 1, nil)) // category -1
+	negCounter := make([]byte, 12)
+	binary.LittleEndian.PutUint32(negCounter[0:], 1)
+	binary.LittleEndian.PutUint32(negCounter[4:], 0xFFFFFFFF)
+	binary.LittleEndian.PutUint32(negCounter[8:], 3)
+	f.Add(craftBinaryHeader(0, 0, 1, 3, negCounter)) // negative counter
+	f.Add(buf.Bytes()[:len(buf.Bytes())-2])          // truncated payload
 	f.Fuzz(func(t *testing.T, in []byte) {
 		c, err := ReadBinary(bytes.NewReader(in))
 		if err != nil {

@@ -184,6 +184,13 @@ func ReadBinarySized(r io.Reader, sizeHint int64) (*Community, error) {
 	if nameLen > 1<<20 || n > 1<<30 || d > 1<<16 {
 		return nil, fmt.Errorf("vector: implausible header (nameLen=%d n=%d d=%d)", nameLen, n, d)
 	}
+	if n > 0 && d == 0 {
+		// Zero-dim users are invalid (Validate rejects them), but the
+		// claimed payload is 0 bytes, so without this check the row loop
+		// below would spin n times — CPU and slice-header memory
+		// proportional to an attacker-chosen claim — before failing.
+		return nil, fmt.Errorf("vector: header claims %d users of zero dimensions", n)
+	}
 	payload := int64(n) * int64(d) * 4 // n <= 1<<30, d <= 1<<16: no overflow
 	if payload > MaxBinaryPayloadBytes {
 		return nil, fmt.Errorf("vector: header claims %d bytes of profiles (n=%d d=%d), over the %d-byte cap",
