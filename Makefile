@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench faults metricsguard storeguard fuzzsmoke crashguard
+.PHONY: check vet build test race bench faults metricsguard storeguard indexguard fuzzsmoke crashguard
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -43,6 +43,18 @@ metricsguard:
 # stay 0 allocs/op. !race-gated for the same reason as metricsguard.
 storeguard:
 	$(GO) test -count=1 -v -run '^TestStoreCacheHitPreparedApZeroAllocs$$' ./internal/store
+
+# indexguard is the envelope-index exactness gate (DESIGN.md §12): the
+# bucket max-flow must equal a reference max-flow exactly, the upper
+# bound must dominate every exact join, and the pruned engines must
+# return byte-identical answers to the unpruned ones (property tests
+# over seeded corpora — a failing case names its seed). The bound check
+# itself must stay 0 allocs/op: the index only pays off if a bound is
+# far cheaper than the join it replaces. !race-gated alloc guard, same
+# reason as metricsguard.
+indexguard:
+	$(GO) test -count=1 -v -run '^TestDimFlowIsExactMaxFlow$$|^TestUpperBoundDominatesExactJoin$$|^TestUpperBoundZeroAllocs$$' ./internal/index
+	$(GO) test -count=1 -v -run '^TestIndexedTopKExactness$$|^TestRankAboveExactness$$|^TestRankPreparedIndexZeroPrune$$' .
 
 # fuzzsmoke gives each ingest fuzz target a short native-fuzzing burst
 # (seeded with the crafted-header corpus of the hardening pass), so CI

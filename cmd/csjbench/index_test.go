@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunIndexTinyScale runs the -index mode on a small corpus. The
+// mode verifies indexed-vs-full exactness internally, so a clean exit
+// already proves the pruned engine returned the true top-k; the
+// assertions below pin the report shape the committed BENCH_index.json
+// is built from.
+func TestRunIndexTinyScale(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-index", "-indexscales", "300,600", "-topkk", "5", "-q"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep indexReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding -index report: %v\n%s", err, out.String())
+	}
+	if len(rep.Scales) != 2 {
+		t.Fatalf("report has %d scales, want 2", len(rep.Scales))
+	}
+	for _, sr := range rep.Scales {
+		if sr.BoundChecks != int64(sr.Communities) {
+			t.Errorf("scale %d: %d bound checks, want one per candidate", sr.Communities, sr.BoundChecks)
+		}
+		if sr.Visited+sr.Pruned+sr.Skipped != int64(sr.Communities) {
+			t.Errorf("scale %d: visited %d + pruned %d + skipped %d != %d",
+				sr.Communities, sr.Visited, sr.Pruned, sr.Skipped, sr.Communities)
+		}
+		if sr.Pruned == 0 {
+			t.Errorf("scale %d: the clustered corpus pruned nothing", sr.Communities)
+		}
+		if sr.VisitedFrac >= 0.5 {
+			t.Errorf("scale %d: visited fraction %v; pruning is not engaging", sr.Communities, sr.VisitedFrac)
+		}
+		if sr.TopKIndexedNs <= 0 || sr.TopKFullNs <= 0 || sr.IndexBuildNs <= 0 {
+			t.Errorf("scale %d: non-positive timings %+v", sr.Communities, sr)
+		}
+	}
+}
+
+func TestRunIndexBadScales(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-index", "-indexscales", "0", "-q"}, &out, &errb); err == nil {
+		t.Error("expected error for -indexscales 0")
+	}
+	if err := run([]string{"-index", "-indexscales", "abc", "-q"}, &out, &errb); err == nil {
+		t.Error("expected error for non-numeric -indexscales")
+	}
+	if err := run([]string{"-index", "-indexscales", "", "-q"}, &out, &errb); err == nil {
+		t.Error("expected error for empty -indexscales")
+	}
+}

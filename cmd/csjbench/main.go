@@ -11,6 +11,7 @@
 //	csjbench -ablation all            # run every ablation study
 //	csjbench -table 11 -scale 0.005   # smaller/faster scalability sweep
 //	csjbench -batch -workers 8        # batch-join engine: serial vs parallel, JSON
+//	csjbench -index                   # envelope-index top-k vs full scan at 1k/10k/100k, JSON
 //
 // Flags -scale, -minsize, and -seed control the synthesized data;
 // -format selects text (default), markdown, or csv output. The -batch
@@ -54,7 +55,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out      = fs.String("o", "", "output file (default stdout)")
 		quiet    = fs.Bool("q", false, "suppress progress lines on stderr")
 
-		batch     = fs.Bool("batch", false, "benchmark the batch-join engine (JSON output)")
+		batch       = fs.Bool("batch", false, "benchmark the batch-join engine (JSON output)")
+		index       = fs.Bool("index", false, "benchmark the envelope-pruning index: indexed vs full top-k over clustered corpora (JSON output)")
+		indexScales = fs.String("indexscales", "1000,10000,100000",
+			"index mode: comma-separated corpus sizes")
+		indexDims = fs.Int("indexdims", 6, "index mode: profile dimensionality")
+		indexArch = fs.Int("indexarchetypes", 64, "index mode: number of corpus clusters")
+		indexSize = fs.Int("indexsize", 10, "index mode: base community size (users)")
+		indexEps  = fs.Int("indexeps", 1500, "index mode: join epsilon (selective for the clustered corpus)")
 		nComms    = fs.Int("communities", 12, "batch mode: number of synthesized communities")
 		batchSize = fs.Int("batchsize", 400, "batch mode: base community size")
 		workers   = fs.Int("workers", 0, "batch mode: parallel worker count (0 = GOMAXPROCS)")
@@ -120,6 +128,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	switch {
+	case *index:
+		scales, err := parseScales(*indexScales)
+		if err != nil {
+			return err
+		}
+		return runIndex(w, indexConfig{
+			Scales:     scales,
+			K:          *topkK,
+			Dims:       *indexDims,
+			Archetypes: *indexArch,
+			Size:       *indexSize,
+			Epsilon:    int32(*indexEps),
+			Seed:       *seed,
+		})
 	case *batch:
 		return runBatch(w, batchConfig{
 			Communities: *nComms,

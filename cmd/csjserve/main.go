@@ -15,8 +15,10 @@
 //	GET    /communities/{id}
 //	DELETE /communities/{id}
 //	POST   /similarity                      {"b", "a", "method", "options": {"epsilon": 1}}
-//	POST   /rank                            {"pivot", "candidates", "method", "options"}
-//	POST   /topk                            {"pivot", "candidates", "k", "options"}
+//	POST   /rank                            {"pivot", "candidates", "method", "options",
+//	                                         "all_candidates", "use_index", "min_similarity"}
+//	POST   /topk                            {"pivot", "candidates", "k", "options",
+//	                                         "all_candidates", "use_index"}
 //	POST   /matrix                          {"communities": [ids], "method", "options"}
 //	POST   /joins                           {"dim", "epsilon"}
 //	GET    /joins/{id}
@@ -89,6 +91,8 @@ func main() {
 			"serve Prometheus metrics at GET /metrics (see DESIGN.md §9)")
 		pprofOn = flag.Bool("pprof", false,
 			"mount net/http/pprof under /debug/pprof/ (trusted networks only)")
+		indexBuckets = flag.Int("index-buckets", 0,
+			"histogram resolution of the envelope-index summaries used by use_index requests (0 = default, negative disables; see DESIGN.md §12)")
 		storeDir = flag.String("store-dir", "",
 			"directory for the write-ahead log and checkpoints (empty = memory-only, see DESIGN.md §11)")
 		fsyncMode = flag.String("fsync", "always",
@@ -132,6 +136,7 @@ func main() {
 		PreparedCacheBytes: *preparedCache,
 		DisableMetrics:     !*metricsOn,
 		EnablePprof:        *pprofOn,
+		IndexBuckets:       *indexBuckets,
 		Durable:            dlog,
 	})
 	srv := &http.Server{

@@ -174,6 +174,18 @@ type Options struct {
 	// work done up to the stop). Results are unaffected; leave nil when
 	// not observing.
 	OnPoolStats func(PoolStats)
+	// Index, when non-nil, attaches candidate-aligned pruning summaries
+	// to the prepared batch engines: entry i of the index summarizes
+	// candidate i. TopKPrepared then switches to the best-first exact
+	// engine (TopKIndexed) and RankPrepared/RankAbovePrepared skip
+	// joins their bounds prove pointless. Pruning is exact — results
+	// are identical to the unindexed engines (modulo TopK's documented
+	// two-phase-vs-exact semantics; see TopKPrepared).
+	Index *Index
+	// OnIndexStats, when non-nil, receives the pruning tallies of every
+	// indexed query — one synchronous callback after the query
+	// completes. Leave nil when not observing.
+	OnIndexStats func(IndexStats)
 	// OnJoinEvents, when non-nil, receives the event tallies of every
 	// completed join — one-shot Similarity calls and each prepared cell
 	// or probe of the batch engines. It is called synchronously after a

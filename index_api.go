@@ -1,0 +1,538 @@
+package csj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/opencsj/csj/internal/index"
+)
+
+// This file is the public surface of the envelope-pruning index
+// (internal/index, DESIGN.md §12): community summaries, the candidate
+// Index attached via Options.Index, and the best-first indexed engines
+// TopKIndexed and RankAboveIndexed that skip candidates whose upper
+// bound provably cannot reach the answer.
+
+// DefaultIndexBuckets is the default per-dimension histogram resolution
+// of a community summary.
+const DefaultIndexBuckets = index.DefaultBuckets
+
+// CommunitySummary is the pruning summary of one community: its size,
+// per-dimension min/max envelope, and coarse per-dimension value
+// histograms. It is built once per community (O(users*d)), is immutable
+// and safe for concurrent use, and is a pure function of the community
+// — rebuilding after recovery yields an identical summary.
+type CommunitySummary struct {
+	s *index.Summary
+}
+
+// SummarizeCommunity builds the pruning summary of a community.
+// buckets <= 0 selects DefaultIndexBuckets.
+func SummarizeCommunity(c *Community, buckets int) (*CommunitySummary, error) {
+	ic := c.internal()
+	if err := ic.Validate(0); err != nil {
+		return nil, err
+	}
+	s, err := index.NewSummary(ic, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &CommunitySummary{s: s}, nil
+}
+
+// Summarize builds the pruning summary of a prepared community without
+// touching its encodings. buckets <= 0 selects DefaultIndexBuckets.
+func (pc *PreparedCommunity) Summarize(buckets int) (*CommunitySummary, error) {
+	s, err := index.NewSummary(pc.p.Community(), buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &CommunitySummary{s: s}, nil
+}
+
+// Size returns the summarized community's user count.
+func (cs *CommunitySummary) Size() int { return int(cs.s.Size) }
+
+// Footprint approximates the resident bytes of the summary.
+func (cs *CommunitySummary) Footprint() int64 { return cs.s.Footprint() }
+
+// Equal reports whether two summaries are identical — the recovery
+// invariant: a summary rebuilt from a recovered community equals the
+// pre-crash one, so the rebuilt index prunes identically.
+func (cs *CommunitySummary) Equal(o *CommunitySummary) bool {
+	if cs == nil || o == nil {
+		return cs == o
+	}
+	return cs.s.Equal(o.s)
+}
+
+// UpperBoundPairs returns a provable upper bound on the number of user
+// pairs any CSJ join (approximate or exact, any matcher) can match
+// between the two summarized communities under eps. It runs in
+// O(d*buckets) from the summaries alone — no encodings, no scan — and
+// allocates nothing (pinned by `make indexguard`).
+func UpperBoundPairs(x, y *CommunitySummary, eps int32) int {
+	return index.UpperBoundPairs(x.s, y.s, eps)
+}
+
+// Index is a candidate-aligned set of community summaries attached to a
+// query via Options.Index: entry i summarizes candidate i of the
+// candidates slice passed to the engine. With an index attached,
+// TopKPrepared switches to the best-first exact engine (see TopKIndexed)
+// and RankPrepared skips the joins of candidates whose bound proves
+// zero similarity.
+type Index struct {
+	sums []*CommunitySummary
+}
+
+// NewIndex wraps candidate-aligned summaries (nil entries are not
+// allowed) into an Index.
+func NewIndex(summaries []*CommunitySummary) (*Index, error) {
+	for i, s := range summaries {
+		if s == nil || s.s == nil {
+			return nil, fmt.Errorf("csj: index summary %d is nil", i)
+		}
+	}
+	return &Index{sums: summaries}, nil
+}
+
+// IndexPrepared summarizes every prepared candidate, aligned by
+// position. buckets <= 0 selects DefaultIndexBuckets.
+func IndexPrepared(candidates []*PreparedCommunity, buckets int) (*Index, error) {
+	sums := make([]*CommunitySummary, len(candidates))
+	for i, pc := range candidates {
+		if pc == nil {
+			return nil, fmt.Errorf("csj: prepared candidate %d is nil", i)
+		}
+		s, err := pc.Summarize(buckets)
+		if err != nil {
+			return nil, fmt.Errorf("csj: summarizing candidate %s: %w", pc.Name(), err)
+		}
+		sums[i] = s
+	}
+	return &Index{sums: sums}, nil
+}
+
+// Len returns the number of summarized candidates.
+func (ix *Index) Len() int { return len(ix.sums) }
+
+// Summary returns the summary of candidate i.
+func (ix *Index) Summary(i int) *CommunitySummary { return ix.sums[i] }
+
+// Footprint approximates the resident bytes of all summaries.
+func (ix *Index) Footprint() int64 {
+	var n int64
+	for _, s := range ix.sums {
+		n += s.Footprint()
+	}
+	return n
+}
+
+// IndexStats tallies one indexed query's pruning outcome, reported via
+// Options.OnIndexStats after the query completes.
+type IndexStats struct {
+	// Candidates is the input candidate count.
+	Candidates int64
+	// BoundChecks counts UpperBoundPairs evaluations.
+	BoundChecks int64
+	// Pruned counts candidates eliminated by their bound alone: no
+	// view resolution, no join. Pruning is exact — an eliminated
+	// candidate provably cannot enter the answer.
+	Pruned int64
+	// Visited counts candidates that ran a full join.
+	Visited int64
+	// Skipped counts candidates excluded by the size precondition
+	// (from summary sizes alone, before any bound work).
+	Skipped int64
+}
+
+// IndexedCandidate is one candidate of the indexed engines: its
+// summary, resolved lazily into a prepared view only if the candidate
+// survives pruning. View is called at most once, serially.
+type IndexedCandidate struct {
+	// Name labels the candidate in results (View's name wins if empty).
+	Name string
+	// Summary is the candidate's pruning summary (required).
+	Summary *CommunitySummary
+	// View resolves the candidate's prepared view; it is only invoked
+	// for candidates whose bound survives the running threshold, so a
+	// byte-capped view cache (internal/store) only materializes the
+	// candidates actually joined.
+	View func() (*PreparedCommunity, error)
+}
+
+// TopKIndexed returns the k candidates most similar to the pivot by
+// Ex-MinMax similarity, visiting candidates best-first by their index
+// upper bound. A running threshold — the kth best exact similarity so
+// far — prunes every candidate whose bound cannot strictly beat it;
+// because candidates are visited in descending bound order, the first
+// sub-threshold bound terminates the scan outright. Pruning is exact:
+// the returned ranking is identical, cell-for-cell, to an exhaustive
+// Ex-MinMax ranking truncated to k (pinned by `make indexguard`).
+//
+// Unlike the two-phase TopK, no approximate gate runs: every visited
+// candidate is joined exactly, so the answer is the true top-k, not a
+// heuristic refinement. The ApproxSimilarity field of each returned
+// entry carries the candidate's index upper bound instead of an
+// Ap-MinMax score. Ties on similarity break by ascending candidate
+// index. If fewer than k candidates can be scored, size-skipped
+// candidates pad the tail (Skipped set, no Result).
+//
+// The bound consultation makes the visit order data-dependent, so the
+// engine runs serially; opts.Workers is ignored.
+func TopKIndexed(pivot *PreparedCommunity, candidates []IndexedCandidate, k int, opts *Options) ([]TopKResult, error) {
+	return TopKIndexedCtx(context.Background(), pivot, candidates, k, opts)
+}
+
+// TopKIndexedCtx is TopKIndexed with cooperative cancellation: a
+// canceled ctx stops the visit loop, interrupts the in-flight scan at
+// its next checkpoint, and returns ctx's error with no partial answer.
+func TopKIndexedCtx(ctx context.Context, pivot *PreparedCommunity, candidates []IndexedCandidate, k int, opts *Options) ([]TopKResult, error) {
+	if pivot == nil || len(candidates) == 0 {
+		return nil, errors.New("csj: TopK needs a pivot and at least one candidate")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("csj: TopK needs k >= 1, got %d", k)
+	}
+	o := opts.orDefault()
+	return topKIndexed(ctx, pivot, candidates, k, &o)
+}
+
+// boundEntry is one surviving candidate ordered for best-first visits.
+type boundEntry struct {
+	idx   int
+	bound float64 // upper bound on similarity (pairs bound / |B|)
+}
+
+// indexOrder computes every candidate's similarity upper bound against
+// the pivot and returns the survivors in best-first order (bound
+// descending, candidate index ascending — the final tie-break order, so
+// visitation can never reorder equals). Size-precondition violations
+// are split out by index; they are detected from summary sizes alone,
+// exactly mirroring vector.CheckSizes on the real communities.
+func indexOrder(pivot *PreparedCommunity, candidates []IndexedCandidate, o *Options, stats *IndexStats) (order []boundEntry, skipped []int, err error) {
+	ps, err := pivot.Summarize(0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("csj: summarizing pivot %s: %w", pivot.Name(), err)
+	}
+	pSize := pivot.Size()
+	order = make([]boundEntry, 0, len(candidates))
+	for i := range candidates {
+		cs := candidates[i].Summary
+		if cs == nil || cs.s == nil {
+			return nil, nil, fmt.Errorf("csj: indexed candidate %d has no summary", i)
+		}
+		bSize, aSize := pSize, cs.Size()
+		if aSize < bSize {
+			bSize, aSize = aSize, bSize
+		}
+		if !o.AllowSizeImbalance && bSize < (aSize+1)/2 {
+			skipped = append(skipped, i)
+			stats.Skipped++
+			continue
+		}
+		stats.BoundChecks++
+		ub := index.UpperBoundPairs(ps.s, cs.s, o.Epsilon)
+		order = append(order, boundEntry{idx: i, bound: float64(ub) / float64(bSize)})
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if order[x].bound != order[y].bound {
+			return order[x].bound > order[y].bound
+		}
+		return order[x].idx < order[y].idx
+	})
+	return order, skipped, nil
+}
+
+// resolveView materializes a surviving candidate's prepared view.
+func resolveView(c *IndexedCandidate, idx int) (*PreparedCommunity, error) {
+	if c.View == nil {
+		return nil, fmt.Errorf("csj: indexed candidate %d has no view", idx)
+	}
+	pc, err := c.View()
+	if err != nil {
+		return nil, fmt.Errorf("csj: resolving view of candidate %d: %w", idx, err)
+	}
+	if pc == nil {
+		return nil, fmt.Errorf("csj: view of candidate %d is nil", idx)
+	}
+	return pc, nil
+}
+
+func candName(c *IndexedCandidate, pc *PreparedCommunity) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	if pc != nil {
+		return pc.Name()
+	}
+	return ""
+}
+
+func topKIndexed(ctx context.Context, pivot *PreparedCommunity, candidates []IndexedCandidate, k int, o *Options) ([]TopKResult, error) {
+	stats := IndexStats{Candidates: int64(len(candidates))}
+	order, skipped, err := indexOrder(pivot, candidates, o, &stats)
+	if err != nil {
+		return nil, err
+	}
+
+	// Running threshold: a min-heap of the k best exact similarities.
+	// Pruning needs a strict bound < kth-best comparison — a candidate
+	// whose bound equals the threshold could still tie the kth entry
+	// and win by lower index, so it must be visited.
+	heap := make([]float64, 0, k)
+	scored := make([]TopKResult, 0, min(len(order), 2*k))
+	var sc Scratch
+	for pos, e := range order {
+		if len(heap) == k && e.bound < heap[0] {
+			// Bounds are non-increasing from here: the whole tail is
+			// provably below the kth best similarity.
+			stats.Pruned += int64(len(order) - pos)
+			break
+		}
+		pc, err := resolveView(&candidates[e.idx], e.idx)
+		if err != nil {
+			return nil, err
+		}
+		b, a := orientPrepared(pivot, pc)
+		res, err := similarityPrepared(ctx, b, a, ExMinMax, o, &sc.s)
+		if err != nil {
+			if errors.Is(err, ErrSizeConstraint) {
+				// Unreachable when summaries match their communities
+				// (sizes are exact); tolerate a stale summary anyway.
+				skipped = append(skipped, e.idx)
+				stats.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("csj: indexed top-k on %s: %w", candName(&candidates[e.idx], pc), err)
+		}
+		stats.Visited++
+		scored = append(scored, TopKResult{
+			Index:            e.idx,
+			Name:             candName(&candidates[e.idx], pc),
+			ApproxSimilarity: e.bound,
+			Result:           res,
+		})
+		if len(heap) < k {
+			heapPush(&heap, res.Similarity)
+		} else if res.Similarity > heap[0] {
+			heapReplaceMin(heap, res.Similarity)
+		}
+	}
+
+	sort.Slice(scored, func(x, y int) bool {
+		sx, sy := scored[x].Result.Similarity, scored[y].Result.Similarity
+		if sx != sy {
+			return sx > sy
+		}
+		return scored[x].Index < scored[y].Index
+	})
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	// Fewer than k scorable candidates: pad with size-skipped entries,
+	// mirroring the two-phase engine's tail.
+	sort.Ints(skipped)
+	for _, i := range skipped {
+		if len(scored) >= k {
+			break
+		}
+		scored = append(scored, TopKResult{Index: i, Name: candidates[i].Name, Skipped: true})
+	}
+	if o.OnIndexStats != nil {
+		o.OnIndexStats(stats)
+	}
+	return scored, nil
+}
+
+// heapPush adds s to the similarity min-heap.
+func heapPush(h *[]float64, s float64) {
+	*h = append(*h, s)
+	hh := *h
+	for i := len(hh) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if hh[parent] <= hh[i] {
+			break
+		}
+		hh[parent], hh[i] = hh[i], hh[parent]
+		i = parent
+	}
+}
+
+// heapReplaceMin replaces the minimum with s and restores heap order.
+func heapReplaceMin(h []float64, s float64) {
+	h[0] = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// RankAbovePrepared returns every prepared candidate whose similarity
+// to the pivot reaches minSim, in descending similarity order (ties by
+// ascending candidate index) — the threshold form of RankPrepared for
+// the paper's broadcast scenario: "recommend communities at least this
+// similar" rather than "rank everything". method must be ApMinMax or
+// ExMinMax. Size-skipped candidates are excluded; candidates failing
+// with a per-candidate error are returned at the tail with Err set so
+// failures stay visible.
+func RankAbovePrepared(pivot *PreparedCommunity, candidates []*PreparedCommunity, method Method, minSim float64, opts *Options) ([]Ranked, error) {
+	return RankAbovePreparedCtx(context.Background(), pivot, candidates, method, minSim, opts)
+}
+
+// RankAbovePreparedCtx is RankAbovePrepared with cooperative
+// cancellation (see RankCtx: per-candidate failures are recorded,
+// cancellation is fatal). With Options.Index attached, candidates whose
+// upper bound proves they cannot reach minSim are skipped without a
+// join (see RankAboveIndexed); results are identical either way.
+func RankAbovePreparedCtx(ctx context.Context, pivot *PreparedCommunity, candidates []*PreparedCommunity, method Method, minSim float64, opts *Options) ([]Ranked, error) {
+	o := opts.orDefault()
+	if o.Index != nil {
+		ics, err := indexedFromPrepared(candidates, o.Index)
+		if err != nil {
+			return nil, err
+		}
+		return rankAboveIndexed(ctx, pivot, ics, method, minSim, &o)
+	}
+	ranked, err := RankPreparedCtx(ctx, pivot, candidates, method, opts)
+	if err != nil {
+		return nil, err
+	}
+	return filterRankedAbove(ranked, minSim), nil
+}
+
+// RankAboveIndexed is the indexed threshold ranking: every candidate
+// whose upper bound falls strictly below minSim is eliminated without
+// resolving its view or running a join. Exactness: the output is
+// identical to RankAbovePrepared without an index (pinned by
+// `make indexguard`). The engine runs serially; opts.Workers is
+// ignored.
+func RankAboveIndexed(pivot *PreparedCommunity, candidates []IndexedCandidate, method Method, minSim float64, opts *Options) ([]Ranked, error) {
+	return RankAboveIndexedCtx(context.Background(), pivot, candidates, method, minSim, opts)
+}
+
+// RankAboveIndexedCtx is RankAboveIndexed with cooperative cancellation.
+func RankAboveIndexedCtx(ctx context.Context, pivot *PreparedCommunity, candidates []IndexedCandidate, method Method, minSim float64, opts *Options) ([]Ranked, error) {
+	o := opts.orDefault()
+	return rankAboveIndexed(ctx, pivot, candidates, method, minSim, &o)
+}
+
+func rankAboveIndexed(ctx context.Context, pivot *PreparedCommunity, candidates []IndexedCandidate, method Method, minSim float64, o *Options) ([]Ranked, error) {
+	if pivot == nil || len(candidates) == 0 {
+		return nil, errors.New("csj: Rank needs a pivot and at least one candidate")
+	}
+	stats := IndexStats{Candidates: int64(len(candidates))}
+	order, _, err := indexOrder(pivot, candidates, o, &stats)
+	if err != nil {
+		return nil, err
+	}
+	// Approximate similarities are discounted by p (Eq. 1); the pairs
+	// bound must be discounted the same way before comparing to minSim.
+	pEff := 1.0
+	if !method.IsExact() && o.P > 0 {
+		pEff = o.P
+	}
+	out := make([]Ranked, 0, len(order))
+	var sc Scratch
+	for pos, e := range order {
+		if pEff*e.bound < minSim {
+			// Best-first order: every remaining bound is at most this
+			// one, so the whole tail is provably below the threshold.
+			stats.Pruned += int64(len(order) - pos)
+			break
+		}
+		pc, err := resolveView(&candidates[e.idx], e.idx)
+		if err != nil {
+			return nil, err
+		}
+		entry := Ranked{Index: e.idx, Name: candName(&candidates[e.idx], pc)}
+		b, a := orientPrepared(pivot, pc)
+		res, err := similarityPrepared(ctx, b, a, method, o, &sc.s)
+		switch {
+		case err == nil:
+			stats.Visited++
+			if res.Similarity >= minSim {
+				entry.Result = res
+				out = append(out, entry)
+			}
+		case errors.Is(err, ErrSizeConstraint):
+			stats.Skipped++ // stale summary; excluded like the precheck
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		case errors.Is(err, ErrUnknownMethod):
+			return nil, err // a non-MinMax method fails every probe identically
+		default:
+			stats.Visited++
+			entry.Err = err
+			out = append(out, entry) // failures stay visible at the tail
+		}
+	}
+	// Entries arrive in bound order; re-sort fully deterministically:
+	// scored by (similarity desc, index asc), then errored by index.
+	sort.Slice(out, func(x, y int) bool {
+		rx, ry := out[x].Result, out[y].Result
+		switch {
+		case rx != nil && ry != nil:
+			if rx.Similarity != ry.Similarity {
+				return rx.Similarity > ry.Similarity
+			}
+		case rx != nil:
+			return true
+		case ry != nil:
+			return false
+		}
+		return out[x].Index < out[y].Index
+	})
+	if o.OnIndexStats != nil {
+		o.OnIndexStats(stats)
+	}
+	return out, nil
+}
+
+// filterRankedAbove reduces a full ranking to the RankAbove contract:
+// scored entries reaching minSim, then errored entries.
+func filterRankedAbove(ranked []Ranked, minSim float64) []Ranked {
+	out := make([]Ranked, 0, len(ranked))
+	for _, r := range ranked {
+		if r.Result != nil && r.Result.Similarity >= minSim {
+			out = append(out, r)
+		}
+	}
+	for _, r := range ranked {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// indexedFromPrepared adapts candidate-aligned prepared views plus
+// their Index into IndexedCandidates with trivial view resolution.
+func indexedFromPrepared(candidates []*PreparedCommunity, ix *Index) ([]IndexedCandidate, error) {
+	if ix.Len() != len(candidates) {
+		return nil, fmt.Errorf("csj: index has %d summaries for %d candidates", ix.Len(), len(candidates))
+	}
+	out := make([]IndexedCandidate, len(candidates))
+	for i, pc := range candidates {
+		if pc == nil {
+			return nil, fmt.Errorf("csj: prepared candidate %d is nil", i)
+		}
+		pc := pc
+		out[i] = IndexedCandidate{Name: pc.Name(), Summary: ix.Summary(i), View: func() (*PreparedCommunity, error) { return pc, nil }}
+	}
+	return out, nil
+}

@@ -1,0 +1,344 @@
+package csj_test
+
+import (
+	"math/rand"
+	"testing"
+
+	csj "github.com/opencsj/csj"
+)
+
+// clusteredComm builds a community around an archetype base in the
+// paper's synthetic [0, 500000]^d domain: every user is the base plus
+// bounded noise, so communities of the same archetype join richly under
+// a selective epsilon while foreign archetypes prune to nothing.
+func clusteredComm(rng *rand.Rand, name string, size int, base []int32, noise int32) *csj.Community {
+	users := make([]csj.Vector, size)
+	for i := range users {
+		u := make(csj.Vector, len(base))
+		for j := range u {
+			u[j] = base[j] + rng.Int31n(2*noise+1) - noise
+		}
+		users[i] = u
+	}
+	return &csj.Community{Name: name, Users: users}
+}
+
+func randBase(rng *rand.Rand, d int) []int32 {
+	b := make([]int32, d)
+	for i := range b {
+		// Keep the noise band non-negative: profiles are counters.
+		b[i] = 5000 + rng.Int31n(495000)
+	}
+	return b
+}
+
+// indexedCorpus builds a clustered corpus: nArch archetypes, candidates
+// assigned round-robin, pivot on archetype 0. Returns prepared views
+// and the candidate-aligned index.
+func indexedCorpus(t *testing.T, rng *rand.Rand, n, nArch, d int, noise int32, opts *csj.Options) (*csj.PreparedCommunity, []*csj.PreparedCommunity, *csj.Index) {
+	t.Helper()
+	bases := make([][]int32, nArch)
+	for i := range bases {
+		bases[i] = randBase(rng, d)
+	}
+	pivot, err := csj.Precompute(clusteredComm(rng, "pivot", 28+rng.Intn(8), bases[0], noise), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs := make([]*csj.PreparedCommunity, n)
+	for i := range pcs {
+		c := clusteredComm(rng, "", 26+rng.Intn(12), bases[i%nArch], noise)
+		c.Name = "cand" + string(rune('A'+i%26)) + "-" + c.Name
+		pcs[i], err = csj.Precompute(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := csj.IndexPrepared(pcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pivot, pcs, ix
+}
+
+// exactTopKReference computes the indexed engine's ground truth the
+// slow way: an exhaustive unindexed Ex-MinMax ranking truncated to k,
+// padded with size-skipped candidates exactly like the engine.
+func exactTopKReference(t *testing.T, pivot *csj.PreparedCommunity, pcs []*csj.PreparedCommunity, k int, opts *csj.Options) []csj.Ranked {
+	t.Helper()
+	ranked, err := csj.RankPrepared(pivot, pcs, csj.ExMinMax, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]csj.Ranked, 0, k)
+	for _, r := range ranked {
+		if len(out) == k {
+			break
+		}
+		if r.Err != nil {
+			t.Fatalf("reference ranking failed on %s: %v", r.Name, r.Err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestIndexedTopKExactness is the pruning soundness property: across
+// randomized clustered corpora and epsilons, TopKPrepared with an
+// index attached must return, cell for cell, the exhaustive exact
+// ranking truncated to k. Seeds are logged for reproduction.
+func TestIndexedTopKExactness(t *testing.T) {
+	for _, seed := range []int64{101, 202, 303, 404, 505} {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 4; trial++ {
+			noise := int32(500 + rng.Intn(3000))
+			eps := int32(rng.Intn(4000))
+			k := 1 + rng.Intn(8)
+			opts := &csj.Options{Epsilon: eps, Workers: 1}
+			pivot, pcs, ix := indexedCorpus(t, rng, 40, 1+rng.Intn(12), 1+rng.Intn(6), noise, opts)
+			t.Logf("seed=%d trial=%d eps=%d noise=%d k=%d", seed, trial, eps, noise, k)
+
+			want := exactTopKReference(t, pivot, pcs, k, opts)
+
+			var stats csj.IndexStats
+			iopts := *opts
+			iopts.Index = ix
+			iopts.OnIndexStats = func(s csj.IndexStats) { stats = s }
+			got, err := csj.TopKPrepared(pivot, pcs, k, &iopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: indexed top-k has %d entries, reference %d", seed, len(got), len(want))
+			}
+			for i := range got {
+				w := want[i]
+				if got[i].Index != w.Index || got[i].Skipped != w.Skipped {
+					t.Fatalf("seed %d: entry %d = cand %d (skipped=%v), reference cand %d (skipped=%v)",
+						seed, i, got[i].Index, got[i].Skipped, w.Index, w.Skipped)
+				}
+				if (got[i].Result == nil) != (w.Result == nil) {
+					t.Fatalf("seed %d: entry %d result presence diverges", seed, i)
+				}
+				if got[i].Result == nil {
+					continue
+				}
+				if got[i].Result.Similarity != w.Result.Similarity {
+					t.Fatalf("seed %d: entry %d similarity %v, reference %v",
+						seed, i, got[i].Result.Similarity, w.Result.Similarity)
+				}
+				if len(got[i].Result.Pairs) != len(w.Result.Pairs) {
+					t.Fatalf("seed %d: entry %d matched %d pairs, reference %d",
+						seed, i, len(got[i].Result.Pairs), len(w.Result.Pairs))
+				}
+				// The bound must dominate the exact similarity it gated.
+				if got[i].ApproxSimilarity < got[i].Result.Similarity {
+					t.Fatalf("seed %d: entry %d bound %v below exact similarity %v",
+						seed, i, got[i].ApproxSimilarity, got[i].Result.Similarity)
+				}
+			}
+			if stats.Candidates != 40 {
+				t.Fatalf("stats.Candidates = %d, want 40", stats.Candidates)
+			}
+			if stats.Visited+stats.Pruned+stats.Skipped != stats.Candidates {
+				t.Fatalf("stats do not partition the corpus: %+v", stats)
+			}
+		}
+	}
+}
+
+// TestRankAboveExactness: the indexed threshold ranking must equal the
+// exhaustive ranking filtered to minSim, for exact and approximate
+// methods alike.
+func TestRankAboveExactness(t *testing.T) {
+	for _, seed := range []int64{11, 22, 33} {
+		rng := rand.New(rand.NewSource(seed))
+		for _, method := range []csj.Method{csj.ExMinMax, csj.ApMinMax} {
+			noise := int32(500 + rng.Intn(2500))
+			eps := int32(rng.Intn(3500))
+			minSim := rng.Float64() * 0.9
+			opts := &csj.Options{Epsilon: eps, Workers: 1}
+			pivot, pcs, ix := indexedCorpus(t, rng, 36, 1+rng.Intn(9), 1+rng.Intn(5), noise, opts)
+			t.Logf("seed=%d method=%v eps=%d minSim=%.3f", seed, method, eps, minSim)
+
+			want, err := csj.RankAbovePrepared(pivot, pcs, method, minSim, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iopts := *opts
+			iopts.Index = ix
+			got, err := csj.RankAbovePrepared(pivot, pcs, method, minSim, &iopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: indexed RankAbove has %d entries, reference %d", seed, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Index != want[i].Index {
+					t.Fatalf("seed %d: entry %d = cand %d, reference cand %d", seed, i, got[i].Index, want[i].Index)
+				}
+				if (got[i].Result == nil) != (want[i].Result == nil) {
+					t.Fatalf("seed %d: entry %d result presence diverges", seed, i)
+				}
+				if got[i].Result != nil && got[i].Result.Similarity != want[i].Result.Similarity {
+					t.Fatalf("seed %d: entry %d similarity %v, reference %v",
+						seed, i, got[i].Result.Similarity, want[i].Result.Similarity)
+				}
+			}
+		}
+	}
+}
+
+// TestRankPreparedIndexZeroPrune: a full indexed ranking must score
+// every candidate identically to the unindexed engine while skipping
+// the joins of provably-zero candidates.
+func TestRankPreparedIndexZeroPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	// Many archetypes in a huge domain with a tiny epsilon: most
+	// candidates are provably disjoint from the pivot.
+	opts := &csj.Options{Epsilon: 50, Workers: 1}
+	pivot, pcs, ix := indexedCorpus(t, rng, 48, 16, 4, 300, opts)
+
+	want, err := csj.RankPrepared(pivot, pcs, csj.ExMinMax, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats csj.IndexStats
+	iopts := *opts
+	iopts.Index = ix
+	iopts.OnIndexStats = func(s csj.IndexStats) { stats = s }
+	got, err := csj.RankPrepared(pivot, pcs, csj.ExMinMax, &iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("indexed ranking has %d entries, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].Skipped != want[i].Skipped {
+			t.Fatalf("entry %d: cand %d (skipped=%v), reference cand %d (skipped=%v)",
+				i, got[i].Index, got[i].Skipped, want[i].Index, want[i].Skipped)
+		}
+		if (got[i].Result == nil) != (want[i].Result == nil) {
+			t.Fatalf("entry %d: result presence diverges", i)
+		}
+		if got[i].Result == nil {
+			continue
+		}
+		if got[i].Result.Similarity != want[i].Result.Similarity ||
+			len(got[i].Result.Pairs) != len(want[i].Result.Pairs) {
+			t.Fatalf("entry %d: sim %v pairs %d, reference sim %v pairs %d", i,
+				got[i].Result.Similarity, len(got[i].Result.Pairs),
+				want[i].Result.Similarity, len(want[i].Result.Pairs))
+		}
+	}
+	if stats.Pruned == 0 {
+		t.Fatalf("expected zero-bound pruning on a 16-archetype corpus with eps=50, stats %+v", stats)
+	}
+	t.Logf("rank zero-prune: %+v", stats)
+}
+
+// TestTopKIndexedPrunesSelectiveCorpus: on a clustered corpus with a
+// selective epsilon the indexed engine must actually skip most joins,
+// not merely match the reference.
+func TestTopKIndexedPrunesSelectiveCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	opts := &csj.Options{Epsilon: 1500, Workers: 1}
+	pivot, pcs, ix := indexedCorpus(t, rng, 64, 16, 6, 1000, opts)
+	var stats csj.IndexStats
+	iopts := *opts
+	iopts.Index = ix
+	iopts.OnIndexStats = func(s csj.IndexStats) { stats = s }
+	if _, err := csj.TopKPrepared(pivot, pcs, 3, &iopts); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned == 0 || stats.Visited >= stats.Candidates/2 {
+		t.Fatalf("expected substantial pruning on a selective corpus, stats %+v", stats)
+	}
+	t.Logf("topk pruning: %+v", stats)
+}
+
+// TestTopKIndexedPadsWithSkipped: when fewer than k candidates satisfy
+// the size precondition, the tail is padded with Skipped entries, like
+// the two-phase engine.
+func TestTopKIndexedPadsWithSkipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := randBase(rng, 4)
+	opts := &csj.Options{Epsilon: 100}
+	pivot, err := csj.Precompute(clusteredComm(rng, "pivot", 40, base, 200), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []*csj.Community{
+		clusteredComm(rng, "tiny", 5, base, 200), // violates ceil(40/2) <= 5
+		clusteredComm(rng, "ok", 38, base, 200),
+		clusteredComm(rng, "tiny2", 6, base, 200),
+	}
+	pcs := make([]*csj.PreparedCommunity, len(cands))
+	for i, c := range cands {
+		if pcs[i], err = csj.Precompute(c, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := csj.IndexPrepared(pcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iopts := *opts
+	iopts.Index = ix
+	got, err := csj.TopKPrepared(pivot, pcs, 3, &iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d entries, want 3", len(got))
+	}
+	if got[0].Name != "ok" || got[0].Result == nil {
+		t.Fatalf("first entry = %+v, want scored 'ok'", got[0])
+	}
+	if !got[1].Skipped || !got[2].Skipped || got[1].Index != 0 || got[2].Index != 2 {
+		t.Fatalf("padding entries = %+v, %+v; want skipped cands 0 and 2", got[1], got[2])
+	}
+}
+
+// TestIndexSummaryAPI covers the small summary surface: sizes,
+// footprints, equality, and the public bound.
+func TestIndexSummaryAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	base := randBase(rng, 5)
+	c := clusteredComm(rng, "c", 30, base, 400)
+	s1, err := csj.SummarizeCommunity(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Size() != 30 {
+		t.Fatalf("summary size = %d, want 30", s1.Size())
+	}
+	if s1.Footprint() <= 0 {
+		t.Fatal("summary footprint must be positive")
+	}
+	pc, err := csj.Precompute(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := pc.Summarize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatal("summaries from Community and PreparedCommunity differ")
+	}
+	if ub := csj.UpperBoundPairs(s1, s2, 0); ub != 30 {
+		t.Fatalf("self bound = %d, want 30", ub)
+	}
+	far := clusteredComm(rng, "far", 30, randBase(rng, 5), 10)
+	s3, err := csj.SummarizeCommunity(far, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Equal(s3) {
+		t.Fatal("summaries of unrelated communities compare equal")
+	}
+}

@@ -1,0 +1,277 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/matching"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+func randComm(rng *rand.Rand, name string, size, d int, base, spread int32) *vector.Community {
+	users := make([]vector.Vector, size)
+	for i := range users {
+		u := make(vector.Vector, d)
+		for j := range u {
+			u[j] = base + rng.Int31n(spread)
+		}
+		users[i] = u
+	}
+	return &vector.Community{Name: name, Category: -1, Users: users}
+}
+
+func TestSummaryShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randComm(rng, "c", 50, 6, 10, 1000)
+	s, err := NewSummary(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size != 50 || s.Buckets != 8 || s.Dim() != 6 {
+		t.Fatalf("summary shape = size %d buckets %d dim %d", s.Size, s.Buckets, s.Dim())
+	}
+	for i := 0; i < s.Dim(); i++ {
+		var sum int32
+		for _, n := range s.Counts[i*8 : (i+1)*8] {
+			if n < 0 {
+				t.Fatalf("dim %d: negative count", i)
+			}
+			sum += n
+		}
+		if sum != s.Size {
+			t.Fatalf("dim %d: counts sum to %d, want %d", i, sum, s.Size)
+		}
+		if s.Steps[i] < 1 {
+			t.Fatalf("dim %d: step %d < 1", i, s.Steps[i])
+		}
+		// Every user value must land in a valid bucket of its row.
+		for _, u := range c.Users {
+			idx := (u[i] - s.Mins[i]) / s.Steps[i]
+			if idx < 0 || idx >= s.Buckets {
+				t.Fatalf("dim %d: value %d maps to bucket %d outside [0,%d)", i, u[i], idx, s.Buckets)
+			}
+			if u[i] < s.Mins[i] || u[i] > s.Maxs[i] {
+				t.Fatalf("dim %d: value %d escapes envelope [%d,%d]", i, u[i], s.Mins[i], s.Maxs[i])
+			}
+		}
+	}
+}
+
+func TestNewSummaryRejectsEmpty(t *testing.T) {
+	if _, err := NewSummary(&vector.Community{Name: "empty"}, 0); err == nil {
+		t.Fatal("want error for empty community")
+	}
+}
+
+func TestSummaryEqualAndRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randComm(rng, "c", 40, 5, 0, 500)
+	s1, err := NewSummary(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Buckets != DefaultBuckets {
+		t.Fatalf("buckets = %d, want default %d", s1.Buckets, DefaultBuckets)
+	}
+	// A summary is a pure function of the community: rebuilding (the
+	// recovery path) must produce an identical summary.
+	s2, err := NewSummary(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatal("rebuilt summary differs from original")
+	}
+	// Summaries are coarse: a mutation must move the envelope (or a
+	// bucket count) to be visible. Pushing a value past the max does.
+	c.Users[0][0] = s1.Maxs[0] + 1000
+	s3, err := NewSummary(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Equal(s3) {
+		t.Fatal("summaries of different communities compare equal")
+	}
+}
+
+func TestEnvelopeDisjointGivesZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randComm(rng, "x", 20, 4, 0, 100)    // values in [0, 100)
+	y := randComm(rng, "y", 25, 4, 5000, 100) // values in [5000, 5100)
+	sx, err := NewSummary(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sy, err := NewSummary(y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub := UpperBoundPairs(sx, sy, 10); ub != 0 {
+		t.Fatalf("disjoint envelopes: bound = %d, want 0", ub)
+	}
+	// A huge epsilon re-connects them; the bound caps at min size.
+	if ub := UpperBoundPairs(sx, sy, 1<<20); ub != 20 {
+		t.Fatalf("loose epsilon: bound = %d, want 20", ub)
+	}
+}
+
+func TestDimensionMismatchReturnsCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sx, err := NewSummary(randComm(rng, "x", 10, 3, 0, 50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sy, err := NewSummary(randComm(rng, "y", 12, 5, 0, 50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub := UpperBoundPairs(sx, sy, 1); ub != 10 {
+		t.Fatalf("dim mismatch: bound = %d, want conservative cap 10", ub)
+	}
+}
+
+// refMaxFlow is an Edmonds–Karp reference for the bucket flow of one
+// dimension: source -> B buckets (capacity = count), compatible bucket
+// pairs (infinite), A buckets -> sink (capacity = count). dimFlow must
+// equal this exactly — a smaller value could undercut the true
+// matching and prune a genuine answer.
+func refMaxFlow(bCnt []int32, bMin, bStep int64, aCnt []int32, aMin, aStep, eps int64) int32 {
+	nb, na := len(bCnt), len(aCnt)
+	n := nb + na + 2 // 0 = source, 1..nb = B, nb+1..nb+na = A, n-1 = sink
+	src, sink := 0, n-1
+	const inf = int32(1) << 30
+	cap := make([][]int32, n)
+	for i := range cap {
+		cap[i] = make([]int32, n)
+	}
+	for j := 0; j < nb; j++ {
+		cap[src][1+j] = bCnt[j]
+		bLo := bMin + int64(j)*bStep
+		bHi := bLo + bStep - 1
+		for k := 0; k < na; k++ {
+			aLo := aMin + int64(k)*aStep
+			aHi := aLo + aStep - 1
+			if bLo-eps <= aHi && aLo <= bHi+eps {
+				cap[1+j][1+nb+k] = inf
+			}
+		}
+	}
+	for k := 0; k < na; k++ {
+		cap[1+nb+k][sink] = aCnt[k]
+	}
+	var flow int32
+	for {
+		prev := make([]int, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[src] = src
+		queue := []int{src}
+		for len(queue) > 0 && prev[sink] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if prev[v] == -1 && cap[u][v] > 0 {
+					prev[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if prev[sink] == -1 {
+			return flow
+		}
+		aug := inf
+		for v := sink; v != src; v = prev[v] {
+			if cap[prev[v]][v] < aug {
+				aug = cap[prev[v]][v]
+			}
+		}
+		for v := sink; v != src; v = prev[v] {
+			cap[prev[v]][v] -= aug
+			cap[v][prev[v]] += aug
+		}
+		flow += aug
+	}
+}
+
+// TestDimFlowIsExactMaxFlow drives the greedy two-pointer sweep
+// against the reference max flow on randomized histograms. Equality
+// (not <=) is the soundness-critical property: dimFlow must attain
+// the relaxed optimum, which in turn dominates the true matching.
+func TestDimFlowIsExactMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		nb, na := 1+rng.Intn(10), 1+rng.Intn(10)
+		bCnt := make([]int32, nb)
+		aCnt := make([]int32, na)
+		for i := range bCnt {
+			bCnt[i] = rng.Int31n(6)
+		}
+		for i := range aCnt {
+			aCnt[i] = rng.Int31n(6)
+		}
+		bMin, aMin := int64(rng.Intn(50)), int64(rng.Intn(50))
+		bStep, aStep := int64(1+rng.Intn(12)), int64(1+rng.Intn(12))
+		eps := int64(rng.Intn(30))
+		got := dimFlow(bCnt, bMin, bStep, aCnt, aMin, aStep, eps)
+		want := refMaxFlow(bCnt, bMin, bStep, aCnt, aMin, aStep, eps)
+		if got != want {
+			t.Fatalf("trial %d: dimFlow = %d, reference max flow = %d (bCnt=%v bMin=%d bStep=%d aCnt=%v aMin=%d aStep=%d eps=%d)",
+				trial, got, want, bCnt, bMin, bStep, aCnt, aMin, aStep, eps)
+		}
+	}
+}
+
+// TestUpperBoundDominatesExactJoin is the end-to-end soundness
+// property: the bound must be >= the pair count of the exact join
+// under a true maximum matcher (Hopcroft–Karp leaves no slack to hide
+// behind) across random communities, sizes, and epsilons.
+func TestUpperBoundDominatesExactJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		d := 1 + rng.Intn(6)
+		szB := 4 + rng.Intn(24)
+		szA := szB + rng.Intn(szB/2+1) // keeps ceil(|A|/2) <= |B|
+		spread := int32(1 + rng.Intn(200))
+		b := randComm(rng, "b", szB, d, 0, spread)
+		a := randComm(rng, "a", szA, d, rng.Int31n(40), spread)
+		eps := rng.Int31n(60)
+		buckets := 1 + rng.Intn(20)
+
+		sb, err := NewSummary(b, buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := NewSummary(a, buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.ExMinMax(b, a, core.Options{Eps: eps, Matcher: matching.HopcroftKarp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub := UpperBoundPairs(sb, sa, eps)
+		if len(res.Pairs) > ub {
+			t.Fatalf("trial %d: exact join matched %d pairs but bound is %d (d=%d szB=%d szA=%d eps=%d buckets=%d)",
+				trial, len(res.Pairs), ub, d, szB, szA, eps, buckets)
+		}
+		if ubRev := UpperBoundPairs(sa, sb, eps); len(res.Pairs) > ubRev {
+			t.Fatalf("trial %d: reversed bound %d below matched %d", trial, ubRev, len(res.Pairs))
+		}
+	}
+}
+
+// TestUpperBoundTightOnIdenticalCommunities: joining a community with
+// itself matches everyone; the bound must allow it (and equal size).
+func TestUpperBoundTightOnIdenticalCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randComm(rng, "c", 30, 4, 0, 300)
+	s, err := NewSummary(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub := UpperBoundPairs(s, s, 0); ub != 30 {
+		t.Fatalf("self-join bound = %d, want 30", ub)
+	}
+}

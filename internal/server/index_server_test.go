@@ -1,0 +1,187 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// Endpoint coverage of the envelope index (DESIGN.md §12): use_index
+// requests must return exactly what the unindexed engines return, the
+// all_candidates expansion must match an explicit full-id list, and the
+// csj_index_* metric families must move on indexed requests.
+
+// clusteredUsers builds profiles around a base value, so same-base
+// communities join richly while a far base is provably disjoint under
+// a selective epsilon.
+func clusteredUsers(rng *rand.Rand, n, d int, base int32) [][]int32 {
+	users := make([][]int32, n)
+	for i := range users {
+		u := make([]int32, d)
+		for j := range u {
+			u[j] = base + rng.Int31n(200)
+		}
+		users[i] = u
+	}
+	return users
+}
+
+// uploadIndexCorpus uploads a pivot plus 12 candidates spread over
+// three near clusters and one far cluster (prunable at epsilon 600).
+func uploadIndexCorpus(t *testing.T, ts *httptest.Server) (pivot int64, cands []int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	bases := []int32{1000, 1400, 1800, 400000}
+	pivot = uploadCommunity(t, ts, "pivot", clusteredUsers(rng, 12, 4, bases[0]))
+	for i := 0; i < 12; i++ {
+		id := uploadCommunity(t, ts, "cand", clusteredUsers(rng, 10+i%4, 4, bases[i%len(bases)]))
+		cands = append(cands, id)
+	}
+	return pivot, cands
+}
+
+func TestTopKEndpointIndexedMatchesTwoPhase(t *testing.T) {
+	ts := newTestServer(t)
+	pivot, cands := uploadIndexCorpus(t, ts)
+
+	// With 2k >= len(cands) the two-phase engine refines everything, so
+	// its answer is the true exact top-k — the indexed engine must agree
+	// cell for cell (approx differs by design: upper bound vs Ap-MinMax).
+	req := TopKRequest{Pivot: pivot, Candidates: cands, K: 6,
+		Options: OptionsPayload{Epsilon: 600}}
+	var plain, indexed []TopKEntry
+	doJSON(t, "POST", ts.URL+"/topk", req, http.StatusOK, &plain)
+	req.UseIndex = true
+	doJSON(t, "POST", ts.URL+"/topk", req, http.StatusOK, &indexed)
+
+	if len(indexed) != len(plain) {
+		t.Fatalf("indexed returned %d entries, two-phase %d", len(indexed), len(plain))
+	}
+	for i := range plain {
+		p, x := plain[i], indexed[i]
+		if p.Community != x.Community || p.Name != x.Name || p.Skipped != x.Skipped ||
+			p.Exact != x.Exact || p.Refined != x.Refined {
+			t.Errorf("entry %d: indexed %+v, two-phase %+v", i, x, p)
+		}
+		if !x.Skipped && x.Approx < x.Exact {
+			t.Errorf("entry %d: bound %v below exact similarity %v", i, x.Approx, x.Exact)
+		}
+	}
+}
+
+func TestTopKEndpointAllCandidates(t *testing.T) {
+	ts := newTestServer(t)
+	pivot, cands := uploadIndexCorpus(t, ts)
+
+	var explicit, all []TopKEntry
+	doJSON(t, "POST", ts.URL+"/topk", TopKRequest{Pivot: pivot, Candidates: cands,
+		K: 4, Options: OptionsPayload{Epsilon: 600}, UseIndex: true},
+		http.StatusOK, &explicit)
+	doJSON(t, "POST", ts.URL+"/topk", TopKRequest{Pivot: pivot, AllCandidates: true,
+		K: 4, Options: OptionsPayload{Epsilon: 600}, UseIndex: true},
+		http.StatusOK, &all)
+	if !reflect.DeepEqual(explicit, all) {
+		t.Errorf("all_candidates diverged from the explicit full list:\nexplicit %+v\nall      %+v",
+			explicit, all)
+	}
+}
+
+func TestRankEndpointIndexedMatchesUnindexed(t *testing.T) {
+	ts := newTestServer(t)
+	pivot, cands := uploadIndexCorpus(t, ts)
+
+	// Full ranking: the index only skips provably-zero joins, so the
+	// response must be byte-identical.
+	req := RankRequest{Pivot: pivot, Candidates: cands, Method: "exminmax",
+		Options: OptionsPayload{Epsilon: 600}}
+	var plain, indexed []RankEntry
+	doJSON(t, "POST", ts.URL+"/rank", req, http.StatusOK, &plain)
+	req.UseIndex = true
+	doJSON(t, "POST", ts.URL+"/rank", req, http.StatusOK, &indexed)
+	if !reflect.DeepEqual(plain, indexed) {
+		t.Errorf("indexed full ranking diverged:\nplain   %+v\nindexed %+v", plain, indexed)
+	}
+	if len(plain) != len(cands) {
+		t.Fatalf("full ranking returned %d entries, want %d", len(plain), len(cands))
+	}
+}
+
+func TestRankEndpointMinSimilarity(t *testing.T) {
+	ts := newTestServer(t)
+	pivot, cands := uploadIndexCorpus(t, ts)
+
+	req := RankRequest{Pivot: pivot, Candidates: cands, Method: "exminmax",
+		Options: OptionsPayload{Epsilon: 600}, MinSimilarity: 0.2}
+	var plain, indexed []RankEntry
+	doJSON(t, "POST", ts.URL+"/rank", req, http.StatusOK, &plain)
+	req.UseIndex = true
+	doJSON(t, "POST", ts.URL+"/rank", req, http.StatusOK, &indexed)
+	if !reflect.DeepEqual(plain, indexed) {
+		t.Errorf("indexed threshold ranking diverged:\nplain   %+v\nindexed %+v", plain, indexed)
+	}
+	if len(plain) == 0 {
+		t.Fatal("threshold ranking returned nothing; the corpus should clear 0.2")
+	}
+	if len(plain) >= len(cands) {
+		t.Errorf("threshold 0.2 filtered nothing (%d entries of %d candidates)", len(plain), len(cands))
+	}
+	for i, e := range plain {
+		if e.Error == "" && e.Similarity < 0.2 {
+			t.Errorf("entry %d: similarity %v below the 0.2 threshold", i, e.Similarity)
+		}
+	}
+}
+
+func TestIndexEndpointBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	pivot, cands := uploadIndexCorpus(t, ts)
+
+	// use_index and min_similarity are MinMax-only.
+	doJSON(t, "POST", ts.URL+"/rank", RankRequest{Pivot: pivot, Candidates: cands,
+		Method: "exbaseline", UseIndex: true, Options: OptionsPayload{Epsilon: 600}},
+		http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/rank", RankRequest{Pivot: pivot, Candidates: cands,
+		Method: "exbaseline", MinSimilarity: 0.5, Options: OptionsPayload{Epsilon: 600}},
+		http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/rank", RankRequest{Pivot: pivot, Candidates: cands,
+		Method: "exminmax", MinSimilarity: -0.1, Options: OptionsPayload{Epsilon: 600}},
+		http.StatusBadRequest, nil)
+	// all_candidates excludes an explicit list.
+	doJSON(t, "POST", ts.URL+"/rank", RankRequest{Pivot: pivot, Candidates: cands,
+		Method: "exminmax", AllCandidates: true, Options: OptionsPayload{Epsilon: 600}},
+		http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/topk", TopKRequest{Pivot: pivot, Candidates: cands,
+		K: 3, AllCandidates: true, Options: OptionsPayload{Epsilon: 600}},
+		http.StatusBadRequest, nil)
+}
+
+func TestMetricsIndexCounters(t *testing.T) {
+	ts := newTestServer(t)
+	pivot, cands := uploadIndexCorpus(t, ts)
+
+	before := scrapeMetrics(t, ts)
+	if before["csj_index_bound_checks_total"] != 0 || before["csj_index_candidates_pruned_total"] != 0 {
+		t.Fatalf("index counters nonzero before any indexed request: %+v",
+			map[string]float64{
+				"bound_checks": before["csj_index_bound_checks_total"],
+				"pruned":       before["csj_index_candidates_pruned_total"],
+			})
+	}
+
+	var top []TopKEntry
+	doJSON(t, "POST", ts.URL+"/topk", TopKRequest{Pivot: pivot, Candidates: cands,
+		K: 3, Options: OptionsPayload{Epsilon: 600}, UseIndex: true},
+		http.StatusOK, &top)
+
+	after := scrapeMetrics(t, ts)
+	if after["csj_index_bound_checks_total"] == 0 {
+		t.Error("csj_index_bound_checks_total did not move on an indexed /topk")
+	}
+	// The far cluster is provably disjoint at epsilon 600, so the index
+	// must have pruned at least those candidates.
+	if after["csj_index_candidates_pruned_total"] == 0 {
+		t.Error("csj_index_candidates_pruned_total did not move on a prunable corpus")
+	}
+}

@@ -78,6 +78,11 @@ type serverMetrics struct {
 	walFsyncSeconds   *metrics.Histogram
 	checkpointSeconds *metrics.Histogram
 	recoveryTruncated *metrics.Counter
+
+	// Envelope-index series (DESIGN.md §12), fed by the indexed query
+	// engines through Options.OnIndexStats.
+	indexBoundChecks *metrics.Counter
+	indexPruned      *metrics.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -122,6 +127,10 @@ func newServerMetrics() *serverMetrics {
 			nil, nil),
 		recoveryTruncated: reg.Counter("csj_recovery_truncated_records_total",
 			"WAL records dropped at startup as a torn tail (or by -repair).", nil),
+		indexBoundChecks: reg.Counter("csj_index_bound_checks_total",
+			"Upper-bound evaluations performed by the envelope index.", nil),
+		indexPruned: reg.Counter("csj_index_candidates_pruned_total",
+			"Candidates eliminated by the envelope index without running a join.", nil),
 	}
 	m.unmatched = m.route("other", "other")
 	return m
@@ -217,6 +226,16 @@ func (m *serverMetrics) RecoveryTruncated(n int64) {
 	m.recoveryTruncated.Add(n)
 }
 
+// observeIndexStats feeds one indexed query's pruning tallies into the
+// envelope-index counters.
+func (m *serverMetrics) observeIndexStats(st csj.IndexStats) {
+	if m == nil {
+		return
+	}
+	m.indexBoundChecks.Add(st.BoundChecks)
+	m.indexPruned.Add(st.Pruned)
+}
+
 // instrument attaches the join observers of the heavy endpoints to a
 // request's options payload. Returns opts unchanged when metrics are
 // disabled.
@@ -226,6 +245,7 @@ func (s *Server) instrumentOptions(opts *csj.Options) *csj.Options {
 	}
 	opts.OnJoinEvents = s.metrics.observeJoinEvents
 	opts.OnPoolStats = s.metrics.observePoolStats
+	opts.OnIndexStats = s.metrics.observeIndexStats
 	return opts
 }
 

@@ -50,6 +50,12 @@ type Config struct {
 	// default: profiles reveal internals and profiling costs CPU, so
 	// expose it on trusted networks only.
 	EnablePprof bool
+	// IndexBuckets selects the histogram resolution of the pruning
+	// summaries the community store attaches to entries for the
+	// envelope index (DESIGN.md §12). 0 selects the library default;
+	// negative disables summaries, making use_index requests fall back
+	// to on-the-fly summarization.
+	IndexBuckets int
 	// Durable, when non-nil, is an opened write-ahead log the community
 	// store persists through (DESIGN.md §11). The server seeds the store
 	// from the log's recovered image, feeds its metrics with the log's

@@ -96,6 +96,7 @@ func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 		Persistence:   p,
 		Seed:          seed,
 		Logf:          s.logf,
+		IndexBuckets:  s.cfg.IndexBuckets,
 	})
 	s.handle("GET /healthz", s.handleHealth)
 	s.handle("POST /communities", s.handleCreateCommunity)
@@ -239,6 +240,18 @@ type RankRequest struct {
 	Candidates []int64        `json:"candidates"`
 	Method     string         `json:"method"`
 	Options    OptionsPayload `json:"options"`
+	// AllCandidates ranks every stored community except the pivot
+	// (ascending id), so Candidates may be omitted.
+	AllCandidates bool `json:"all_candidates,omitempty"`
+	// UseIndex consults the envelope index (DESIGN.md §12): a full
+	// ranking skips the joins of provably-zero candidates; a
+	// min_similarity ranking prunes every candidate whose upper bound
+	// cannot reach the threshold. MinMax methods only.
+	UseIndex bool `json:"use_index,omitempty"`
+	// MinSimilarity, when positive, switches to the threshold ranking
+	// (RankAbove): only candidates with similarity >= min_similarity
+	// are returned.
+	MinSimilarity float64 `json:"min_similarity,omitempty"`
 }
 
 // RankEntry is one row of a ranking response.
@@ -250,12 +263,23 @@ type RankEntry struct {
 	Error      string  `json:"error,omitempty"`
 }
 
-// TopKRequest asks for the two-phase top-k workflow.
+// TopKRequest asks for the two-phase top-k workflow — or, with
+// use_index, the best-first indexed exact engine.
 type TopKRequest struct {
 	Pivot      int64          `json:"pivot"`
 	Candidates []int64        `json:"candidates"`
 	K          int            `json:"k"`
 	Options    OptionsPayload `json:"options"`
+	// AllCandidates targets every stored community except the pivot
+	// (ascending id), so Candidates may be omitted.
+	AllCandidates bool `json:"all_candidates,omitempty"`
+	// UseIndex switches to the envelope-index engine (DESIGN.md §12):
+	// candidates are visited best-first by upper bound and pruned
+	// against the running kth-best exact similarity, resolving
+	// prepared views only for the candidates actually joined. The
+	// answer is the true Ex-MinMax top-k; each entry's
+	// approx_similarity carries the index upper bound.
+	UseIndex bool `json:"use_index,omitempty"`
 }
 
 // TopKEntry is one row of a top-k response.
@@ -489,6 +513,76 @@ func preparedViews(snap *store.Snapshot, ids []int64, opts *csj.Options) ([]*csj
 	return out, nil
 }
 
+// allCandidateIDs lists every stored community except the pivot, in
+// ascending id order (the snapshot's own ordering).
+func allCandidateIDs(snap *store.Snapshot, pivot int64) []int64 {
+	list := snap.List()
+	ids := make([]int64, 0, len(list))
+	for _, e := range list {
+		if e.ID != pivot {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
+// entrySummary returns the store-maintained pruning summary of id,
+// summarizing on the fly when the store runs with summaries disabled.
+func entrySummary(snap *store.Snapshot, id int64) (*csj.CommunitySummary, error) {
+	e, ok := snap.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("no community %d", id)
+	}
+	if e.Summary != nil {
+		return e.Summary, nil
+	}
+	sum, err := csj.SummarizeCommunity(e.Comm, 0)
+	if err != nil {
+		return nil, fmt.Errorf("summarizing community %d: %w", id, err)
+	}
+	return sum, nil
+}
+
+// indexedCandidates builds the envelope-index view of a candidate set:
+// each candidate pairs its summary with a lazy prepared-view resolver,
+// so only the candidates the engine actually joins get encoded.
+func indexedCandidates(snap *store.Snapshot, ids []int64, opts *csj.Options) ([]csj.IndexedCandidate, error) {
+	out := make([]csj.IndexedCandidate, len(ids))
+	for i, id := range ids {
+		e, ok := snap.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("no community %d", id)
+		}
+		sum, err := entrySummary(snap, id)
+		if err != nil {
+			return nil, err
+		}
+		id := id
+		out[i] = csj.IndexedCandidate{
+			Name:    e.Comm.Name,
+			Summary: sum,
+			View: func() (*csj.PreparedCommunity, error) {
+				return snap.Prepared(id, opts.Epsilon, opts.Parts)
+			},
+		}
+	}
+	return out, nil
+}
+
+// candidateIndex builds the candidate-aligned Index that Options.Index
+// expects, from the store's entry summaries.
+func candidateIndex(snap *store.Snapshot, ids []int64) (*csj.Index, error) {
+	sums := make([]*csj.CommunitySummary, len(ids))
+	for i, id := range ids {
+		sum, err := entrySummary(snap, id)
+		if err != nil {
+			return nil, err
+		}
+		sums[i] = sum
+	}
+	return csj.NewIndex(sums)
+}
+
 func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	var req SimilarityRequest
 	if !s.decode(w, r, &req) {
@@ -561,6 +655,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	if req.AllCandidates {
+		if len(req.Candidates) > 0 {
+			s.writeErr(w, http.StatusBadRequest,
+				errors.New("all_candidates excludes an explicit candidate list"))
+			return
+		}
+		req.Candidates = allCandidateIDs(snap, req.Pivot)
+	}
 	for _, id := range req.Candidates {
 		if _, err := lookup(snap, id); err != nil {
 			s.writeErr(w, http.StatusNotFound, err)
@@ -572,13 +674,37 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.MinSimilarity < 0 {
+		s.writeErr(w, http.StatusBadRequest, errors.New("min_similarity must be >= 0"))
+		return
+	}
+	if (req.UseIndex || req.MinSimilarity > 0) && !minMaxMethod(method) {
+		s.writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("use_index and min_similarity require a MinMax method, got %q", req.Method))
+		return
+	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	var ranked []csj.Ranked
-	if minMaxMethod(method) {
+	switch {
+	case req.MinSimilarity > 0 && req.UseIndex:
+		// Threshold ranking over the envelope index: candidates whose
+		// upper bound cannot reach min_similarity are pruned without
+		// resolving their prepared views.
+		pv, verr := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
+		var ics []csj.IndexedCandidate
+		if verr == nil {
+			ics, verr = indexedCandidates(snap, req.Candidates, opts)
+		}
+		if verr != nil {
+			s.writeJoinErr(w, r, verr)
+			return
+		}
+		ranked, err = csj.RankAboveIndexedCtx(r.Context(), pv, ics, method, req.MinSimilarity, s.instrumentOptions(opts))
+	case req.MinSimilarity > 0:
 		pv, verr := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
 		var views []*csj.PreparedCommunity
 		if verr == nil {
@@ -588,8 +714,29 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			s.writeJoinErr(w, r, verr)
 			return
 		}
+		ranked, err = csj.RankAbovePreparedCtx(r.Context(), pv, views, method, req.MinSimilarity, s.instrumentOptions(opts))
+	case minMaxMethod(method):
+		pv, verr := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
+		var views []*csj.PreparedCommunity
+		if verr == nil {
+			views, verr = preparedViews(snap, req.Candidates, opts)
+		}
+		if verr != nil {
+			s.writeJoinErr(w, r, verr)
+			return
+		}
+		if req.UseIndex {
+			// Full ranking must score every candidate, but provably-zero
+			// candidates skip their joins (DESIGN.md §12).
+			ix, ierr := candidateIndex(snap, req.Candidates)
+			if ierr != nil {
+				s.writeJoinErr(w, r, ierr)
+				return
+			}
+			opts.Index = ix
+		}
 		ranked, err = csj.RankPreparedCtx(r.Context(), pv, views, method, s.instrumentOptions(opts))
-	} else {
+	default:
 		cands := make([]*csj.Community, len(req.Candidates))
 		for i, id := range req.Candidates {
 			e, _ := snap.Get(id) // presence checked above; same snapshot
@@ -625,6 +772,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	if req.AllCandidates {
+		if len(req.Candidates) > 0 {
+			s.writeErr(w, http.StatusBadRequest,
+				errors.New("all_candidates excludes an explicit candidate list"))
+			return
+		}
+		req.Candidates = allCandidateIDs(snap, req.Pivot)
+	}
 	for _, id := range req.Candidates {
 		if _, err := lookup(snap, id); err != nil {
 			s.writeErr(w, http.StatusNotFound, err)
@@ -637,17 +792,29 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Both top-k phases are MinMax joins, so the whole workflow runs on
-	// cached views.
+	// cached views. The indexed engine resolves views lazily: only the
+	// candidates it actually joins get encoded.
 	pv, err := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
-	var views []*csj.PreparedCommunity
-	if err == nil {
-		views, err = preparedViews(snap, req.Candidates, opts)
-	}
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
 	}
-	top, err := csj.TopKPreparedCtx(r.Context(), pv, views, req.K, s.instrumentOptions(opts))
+	var top []csj.TopKResult
+	if req.UseIndex {
+		ics, ierr := indexedCandidates(snap, req.Candidates, opts)
+		if ierr != nil {
+			s.writeJoinErr(w, r, ierr)
+			return
+		}
+		top, err = csj.TopKIndexedCtx(r.Context(), pv, ics, req.K, s.instrumentOptions(opts))
+	} else {
+		views, verr := preparedViews(snap, req.Candidates, opts)
+		if verr != nil {
+			s.writeJoinErr(w, r, verr)
+			return
+		}
+		top, err = csj.TopKPreparedCtx(r.Context(), pv, views, req.K, s.instrumentOptions(opts))
+	}
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return

@@ -92,6 +92,13 @@ type Config struct {
 	// Logf, when non-nil, receives background-failure log lines
 	// (checkpoint errors from the automatic checkpoint goroutine).
 	Logf func(format string, args ...any)
+	// IndexBuckets selects the per-dimension histogram resolution of
+	// the pruning summary attached to every entry (DESIGN.md §12): 0
+	// selects csj.DefaultIndexBuckets, negative disables summaries
+	// entirely. Summaries are pure functions of the community, so they
+	// are rebuilt — identically — when a Seed boots the store after
+	// recovery; they are never persisted.
+	IndexBuckets int
 }
 
 // Entry is one stored community. Entries are immutable: the community
@@ -105,6 +112,13 @@ type Entry struct {
 	Version uint64
 	// Comm is the deep-copied community.
 	Comm *csj.Community
+	// Summary is the community's pruning summary for the envelope index
+	// (nil when disabled or when the community cannot be summarized —
+	// such entries are simply never pruned). Entries are immutable and
+	// replaced wholesale on mutation, so the summary is versioned
+	// exactly like the entry: built on Create, dropped with the entry
+	// on Delete, rebuilt on the Seed boot path after WAL recovery.
+	Summary *csj.CommunitySummary
 }
 
 // Store holds communities behind copy-on-write snapshots. All methods
@@ -124,21 +138,28 @@ type Store struct {
 	nextID  int64
 	version uint64
 	snap    atomic.Pointer[Snapshot]
+
+	indexBuckets int // summary resolution; < 0 disables summaries
 }
 
 // New returns a store, empty unless cfg.Seed carries a recovered image.
 func New(cfg Config) *Store {
 	s := &Store{
-		cache: newCache(cfg.MaxCacheBytes, cfg.Observer),
-		p:     cfg.Persistence,
-		logf:  cfg.Logf,
+		cache:        newCache(cfg.MaxCacheBytes, cfg.Observer),
+		p:            cfg.Persistence,
+		logf:         cfg.Logf,
+		indexBuckets: cfg.IndexBuckets,
 	}
 	entries := map[int64]*Entry{}
 	if cfg.Seed != nil {
 		s.nextID = cfg.Seed.NextID
 		s.version = cfg.Seed.Version
 		for _, se := range cfg.Seed.Entries {
-			e := &Entry{ID: se.ID, Version: se.Version, Comm: se.Comm}
+			// Recovery rebuild: summaries are pure functions of the
+			// community, so the rebuilt index prunes identically to the
+			// pre-crash one (pinned by TestRecoveredSummariesPruneIdentically).
+			e := &Entry{ID: se.ID, Version: se.Version, Comm: se.Comm,
+				Summary: s.summarize(se.Comm)}
 			entries[e.ID] = e
 			s.cache.setLive(e.ID, e.Version)
 		}
@@ -154,6 +175,7 @@ func New(cfg Config) *Store {
 // before it is applied: an error means the community was not stored.
 func (s *Store) Create(c *csj.Community) (*Entry, error) {
 	clone := c.Clone()
+	sum := s.summarize(clone) // built outside the lock; O(users*d)
 	s.mu.Lock()
 	id, version := s.nextID+1, s.version+1
 	if s.p != nil {
@@ -163,7 +185,7 @@ func (s *Store) Create(c *csj.Community) (*Entry, error) {
 		}
 	}
 	s.nextID, s.version = id, version
-	e := &Entry{ID: id, Version: version, Comm: clone}
+	e := &Entry{ID: id, Version: version, Comm: clone, Summary: sum}
 	s.cache.setLive(e.ID, e.Version)
 	s.publishLocked(func(m map[int64]*Entry) { m[e.ID] = e })
 	s.mu.Unlock()
@@ -195,6 +217,20 @@ func (s *Store) Delete(id int64) (bool, error) {
 	s.mu.Unlock()
 	s.maybeCheckpoint()
 	return true, nil
+}
+
+// summarize builds an entry's pruning summary, or nil when summaries
+// are disabled or the community cannot be summarized (e.g. empty) —
+// the index then simply never prunes that entry.
+func (s *Store) summarize(c *csj.Community) *csj.CommunitySummary {
+	if s.indexBuckets < 0 {
+		return nil
+	}
+	sum, err := csj.SummarizeCommunity(c, s.indexBuckets)
+	if err != nil {
+		return nil
+	}
+	return sum
 }
 
 // publishLocked installs a new snapshot derived from the current one by

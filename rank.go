@@ -87,6 +87,14 @@ func RankCtx(ctx context.Context, pivot *Community, candidates []*Community, met
 // encodings). The encoding phase is skipped entirely, so repeated
 // rankings over a stored corpus re-encode nothing. All views must agree
 // on epsilon and parts.
+//
+// With opts.Index attached (candidate-aligned summaries), candidates
+// whose upper bound is zero — provably no matchable user pair under
+// epsilon — receive a synthesized zero-similarity result without
+// running a join (no OnJoinEvents callback fires for them, since no
+// scan ran). A full ranking must score every candidate, so this is the
+// only pruning an index can offer here; use RankAbovePrepared or
+// TopKPrepared for threshold/top-k pruning.
 func RankPrepared(pivot *PreparedCommunity, candidates []*PreparedCommunity, method Method, opts *Options) ([]Ranked, error) {
 	return RankPreparedCtx(context.Background(), pivot, candidates, method, opts)
 }
@@ -104,13 +112,23 @@ func RankPreparedCtx(ctx context.Context, pivot *PreparedCommunity, candidates [
 		}
 	}
 	o := opts.orDefault()
+	bounds, stats, err := rankBounds(pivot, candidates, &o)
+	if err != nil {
+		return nil, err
+	}
 	workers := batchWorkers(&o)
 	scratches := newScratchPool(workers)
 	out := make([]Ranked, len(candidates))
-	err := runPoolStats(ctx, workers, len(candidates), "rank/probe", o.OnPoolStats, func(w, i int) error {
+	err = runPoolStats(ctx, workers, len(candidates), "rank/probe", o.OnPoolStats, func(w, i int) error {
 		pc := candidates[i]
 		out[i] = Ranked{Index: i, Name: pc.Name()}
 		b, a := orientPrepared(pivot, pc)
+		if bounds != nil && bounds[i] == 0 {
+			// The index proves no user pair can match under epsilon:
+			// the join's answer is exactly zero, no scan needed.
+			out[i].Result = zeroResult(method, b, a)
+			return nil
+		}
 		res, err := similarityPrepared(ctx, b, a, method, &o, scratches.get(w))
 		switch {
 		case err == nil:
@@ -130,17 +148,72 @@ func RankPreparedCtx(ctx context.Context, pivot *PreparedCommunity, candidates [
 		return nil, err
 	}
 	sortRanked(out)
+	if stats != nil && o.OnIndexStats != nil {
+		o.OnIndexStats(*stats)
+	}
 	return out, nil
 }
 
-// sortRanked orders entries by descending similarity; skipped and
-// failed candidates keep their relative order after the scored ones.
+// rankBounds computes the per-candidate pairs bounds of a full ranking
+// when opts.Index is attached (nil bounds otherwise). bounds[i] is -1
+// when the size precondition fails from the summary sizes alone — the
+// probe must still run so the join records the Skipped outcome exactly
+// as the unindexed engine would — and the upper bound otherwise; a
+// bound of zero lets the probe synthesize its result without a join.
+func rankBounds(pivot *PreparedCommunity, candidates []*PreparedCommunity, o *Options) ([]int, *IndexStats, error) {
+	if o.Index == nil {
+		return nil, nil, nil
+	}
+	if o.Index.Len() != len(candidates) {
+		return nil, nil, fmt.Errorf("csj: index has %d summaries for %d candidates", o.Index.Len(), len(candidates))
+	}
+	ps, err := pivot.Summarize(0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("csj: summarizing pivot %s: %w", pivot.Name(), err)
+	}
+	stats := &IndexStats{Candidates: int64(len(candidates))}
+	bounds := make([]int, len(candidates))
+	pSize := pivot.Size()
+	for i := range candidates {
+		cs := o.Index.Summary(i)
+		bSize, aSize := pSize, cs.Size()
+		if aSize < bSize {
+			bSize, aSize = aSize, bSize
+		}
+		if !o.AllowSizeImbalance && bSize < (aSize+1)/2 {
+			bounds[i] = -1
+			stats.Skipped++
+			continue
+		}
+		stats.BoundChecks++
+		bounds[i] = UpperBoundPairs(ps, cs, o.Epsilon)
+		if bounds[i] == 0 {
+			stats.Pruned++
+		} else {
+			stats.Visited++
+		}
+	}
+	return bounds, stats, nil
+}
+
+// zeroResult synthesizes the provably-zero answer of a pruned probe.
+func zeroResult(method Method, b, a *PreparedCommunity) *Result {
+	return &Result{Method: method, SizeB: b.Size(), SizeA: a.Size()}
+}
+
+// sortRanked orders entries by descending similarity with an explicit
+// ascending-index tie-break, so equal scores rank identically
+// regardless of visitation or input order; skipped and failed
+// candidates keep their relative order after the scored ones.
 func sortRanked(out []Ranked) {
 	sort.SliceStable(out, func(x, y int) bool {
 		rx, ry := out[x].Result, out[y].Result
 		switch {
 		case rx != nil && ry != nil:
-			return rx.Similarity > ry.Similarity
+			if rx.Similarity != ry.Similarity {
+				return rx.Similarity > ry.Similarity
+			}
+			return out[x].Index < out[y].Index
 		case rx != nil:
 			return true
 		default:

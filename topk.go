@@ -80,6 +80,16 @@ func TopKCtx(ctx context.Context, pivot *Community, candidates []*Community, k i
 // phase is skipped entirely, so repeated top-k queries over a stored
 // corpus (the community store's workload) re-encode nothing. All views
 // must agree on epsilon and parts.
+//
+// With opts.Index attached (candidate-aligned summaries), the query
+// runs on the best-first indexed engine instead of the two-phase
+// workflow: candidates are visited in descending upper-bound order and
+// pruned against the running kth-best exact similarity, so most never
+// run a join at all (see TopKIndexed). The indexed answer is the TRUE
+// Ex-MinMax top-k — a stronger result than the approximate-gated
+// two-phase answer, which can miss a candidate the Ap-MinMax gate
+// underscores — and each entry's ApproxSimilarity carries the index
+// upper bound rather than an Ap-MinMax score.
 func TopKPrepared(pivot *PreparedCommunity, candidates []*PreparedCommunity, k int, opts *Options) ([]TopKResult, error) {
 	return TopKPreparedCtx(context.Background(), pivot, candidates, k, opts)
 }
@@ -99,6 +109,13 @@ func TopKPreparedCtx(ctx context.Context, pivot *PreparedCommunity, candidates [
 		}
 	}
 	o := opts.orDefault()
+	if o.Index != nil {
+		ics, err := indexedFromPrepared(candidates, o.Index)
+		if err != nil {
+			return nil, err
+		}
+		return topKIndexed(ctx, pivot, ics, k, &o)
+	}
 	workers := batchWorkers(&o)
 	return topKPhases(ctx, pivot, candidates, k, &o, workers)
 }
@@ -132,7 +149,12 @@ func topKPhases(ctx context.Context, pp *PreparedCommunity, pcs []*PreparedCommu
 		if results[x].Skipped != results[y].Skipped {
 			return !results[x].Skipped
 		}
-		return results[x].ApproxSimilarity > results[y].ApproxSimilarity
+		if results[x].ApproxSimilarity != results[y].ApproxSimilarity {
+			return results[x].ApproxSimilarity > results[y].ApproxSimilarity
+		}
+		// Explicit index tie-break: equal scores must rank identically
+		// regardless of visitation or input order.
+		return results[x].Index < results[y].Index
 	})
 
 	// Phase 2: exact refinement of the survivors.
@@ -161,7 +183,9 @@ func topKPhases(ctx context.Context, pp *PreparedCommunity, pcs []*PreparedCommu
 		rx, ry := results[x].Result, results[y].Result
 		switch {
 		case rx != nil && ry != nil:
-			return rx.Similarity > ry.Similarity
+			if rx.Similarity != ry.Similarity {
+				return rx.Similarity > ry.Similarity
+			}
 		case rx != nil:
 			return true
 		case ry != nil:
@@ -169,8 +193,12 @@ func topKPhases(ctx context.Context, pp *PreparedCommunity, pcs []*PreparedCommu
 		case results[x].Skipped != results[y].Skipped:
 			return !results[x].Skipped
 		default:
-			return results[x].ApproxSimilarity > results[y].ApproxSimilarity
+			if results[x].ApproxSimilarity != results[y].ApproxSimilarity {
+				return results[x].ApproxSimilarity > results[y].ApproxSimilarity
+			}
 		}
+		// Explicit index tie-break (see phase-1 sort).
+		return results[x].Index < results[y].Index
 	})
 	if k > len(results) {
 		k = len(results)
