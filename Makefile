@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench faults metricsguard storeguard indexguard fuzzsmoke crashguard
+.PHONY: check vet build test race bench faults metricsguard storeguard indexguard fuzzsmoke crashguard clusterguard routecheck
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -68,3 +68,18 @@ fuzzsmoke:
 # directory, and fails if any acknowledged write is lost.
 crashguard:
 	$(GO) run ./cmd/crashguard
+
+# clusterguard is the kill-a-shard chaos gate (DESIGN.md §13): three
+# shards with WAL-shipped follower replicas behind a coordinator, one
+# shard kill -9'd mid-/topk. Degraded answers must be flagged partial
+# and contain exactly the survivors' correct results, the replica must
+# be promoted, post-promotion answers must be byte-identical to the
+# pre-kill baseline, and the coordinator must leak no goroutines/fds.
+clusterguard:
+	$(GO) run ./cmd/clusterguard
+
+# routecheck asserts every registered HTTP route — shard server and
+# cluster coordinator — has a metrics route-label entry, so no endpoint
+# silently lands in the {route="other"} bucket.
+routecheck:
+	$(GO) test -count=1 -v -run '^TestRouteMetricsCoverage$$' ./internal/server ./internal/cluster

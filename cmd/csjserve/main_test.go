@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		flags   serveFlags
+		wantErr string // substring; empty = valid
+	}{
+		{name: "all defaults", flags: serveFlags{}},
+		{name: "positive values", flags: serveFlags{
+			RequestTimeout: 30 * time.Second, CheckpointEvery: 128, MaxInFlight: 8}},
+		{name: "negative request timeout", flags: serveFlags{RequestTimeout: -time.Second},
+			wantErr: "-request-timeout"},
+		{name: "negative checkpoint every", flags: serveFlags{CheckpointEvery: -1},
+			wantErr: "-checkpoint-every"},
+		{name: "negative max inflight", flags: serveFlags{MaxInFlight: -4},
+			wantErr: "-max-inflight"},
+		{name: "several negatives reports the first", flags: serveFlags{
+			RequestTimeout: -time.Minute, CheckpointEvery: -7, MaxInFlight: -1},
+			wantErr: "-request-timeout"},
+		{name: "follow without store dir", flags: serveFlags{FollowURL: "http://leader:8080"},
+			wantErr: "-follow requires -store-dir"},
+		{name: "follow with store dir", flags: serveFlags{
+			FollowURL: "http://leader:8080", StoreDir: "/tmp/replica"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.flags)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%+v) = %v, want nil", tc.flags, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags(%+v) = nil, want error mentioning %q", tc.flags, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags(%+v) = %q, want it to name %q", tc.flags, err, tc.wantErr)
+			}
+		})
+	}
+}

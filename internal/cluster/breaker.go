@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker position of one shard.
+type BreakerState int32
+
+const (
+	// StateClosed: the shard is healthy; requests flow normally.
+	StateClosed BreakerState = iota
+	// StateOpen: the shard tripped the failure threshold; requests are
+	// rejected locally (fail fast) until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen: the cooldown elapsed; exactly one trial request is
+	// let through. Success closes the breaker, failure re-opens it.
+	StateHalfOpen
+)
+
+// String returns the metrics label spelling of the state.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerStates lists every state, for metrics initialization.
+var BreakerStates = []BreakerState{StateClosed, StateOpen, StateHalfOpen}
+
+// Breaker is the closed → open → half-open state machine guarding one
+// shard. Safe for concurrent use. The clock is injectable so the
+// transitions are unit-testable without sleeping.
+type Breaker struct {
+	threshold int           // consecutive failures that trip closed → open
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+	onChange  func(from, to BreakerState) // called outside the lock
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open trial request is in flight
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and retrying after cooldown. now may be nil (wall clock);
+// onChange may be nil.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time, onChange func(from, to BreakerState)) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now, onChange: onChange}
+}
+
+// State returns the current position (resolving an elapsed cooldown to
+// half-open, since open → half-open is a passage-of-time transition).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a request may proceed. In half-open, only the
+// first caller gets through (the trial probe); everyone else fails
+// fast until the probe reports.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	switch b.state {
+	case StateClosed:
+		b.mu.Unlock()
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
+			return false
+		}
+		b.transitionLocked(StateHalfOpen)
+		b.probing = true
+		b.mu.Unlock()
+		return true
+	default: // StateHalfOpen
+		if b.probing {
+			b.mu.Unlock()
+			return false
+		}
+		b.probing = true
+		b.mu.Unlock()
+		return true
+	}
+}
+
+// Success reports a request that completed against a healthy shard.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.probing = false
+	if b.state != StateClosed {
+		b.transitionLocked(StateClosed)
+	}
+	b.mu.Unlock()
+}
+
+// Failure reports a transport failure or 5xx. While closed, it counts
+// toward the trip threshold; a failed half-open probe re-opens
+// immediately (the cooldown restarts).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	switch b.state {
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openLocked()
+		}
+	case StateHalfOpen:
+		b.probing = false
+		b.openLocked()
+	case StateOpen:
+		// A straggler from before the trip; the breaker is already open.
+	}
+	b.mu.Unlock()
+}
+
+// ForceClosed resets the breaker (used after replica promotion: the
+// active URL changed, so the failure history is about a dead process).
+func (b *Breaker) ForceClosed() {
+	b.mu.Lock()
+	b.failures = 0
+	b.probing = false
+	if b.state != StateClosed {
+		b.transitionLocked(StateClosed)
+	}
+	b.mu.Unlock()
+}
+
+func (b *Breaker) openLocked() {
+	b.failures = 0
+	b.openedAt = b.now()
+	b.transitionLocked(StateOpen)
+}
+
+// transitionLocked moves to state and fires onChange. The callback
+// runs under the lock by design: transitions are rare, the callback is
+// a couple of gauge stores, and ordering guarantees (no interleaved
+// stale updates) matter more than the nanoseconds.
+func (b *Breaker) transitionLocked(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.onChange != nil && from != to {
+		b.onChange(from, to)
+	}
+}

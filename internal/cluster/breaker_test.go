@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for breaker tests: no sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	b := NewBreaker(3, time.Second, clock.Now, func(from, to BreakerState) {
+		transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+	})
+
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 2 failures = %v, want closed (threshold 3)", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow requests")
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 3 failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must fail fast inside the cooldown")
+	}
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Fatalf("transitions = %v, want [closed->open]", transitions)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(3, time.Second, clock.Now, nil)
+	b.Failure()
+	b.Failure()
+	b.Success() // resets the consecutive-failure count
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed (failures are consecutive, not cumulative)", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	b := NewBreaker(1, time.Second, clock.Now, func(from, to BreakerState) {
+		transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+	})
+	b.Failure() // trips immediately (threshold 1)
+
+	clock.Advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("cooldown not elapsed: Allow must fail fast")
+	}
+	clock.Advance(time.Millisecond)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half_open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker must let the first probe through")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker must admit exactly one probe at a time")
+	}
+
+	// The probe fails: straight back to open, cooldown restarts.
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must fail fast")
+	}
+
+	// Cooldown again; this time the probe succeeds.
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe window must open")
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow requests again")
+	}
+
+	want := []string{"closed->open", "open->half_open", "half_open->open", "open->half_open", "half_open->closed"}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+func TestBreakerStragglerFailureWhileOpen(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(1, time.Second, clock.Now, nil)
+	b.Failure()
+	openState := b.State()
+	// A request that was in flight when the breaker tripped reports its
+	// failure late; it must not restart the cooldown.
+	clock.Advance(500 * time.Millisecond)
+	b.Failure()
+	clock.Advance(500 * time.Millisecond)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state = %v (was %v): straggler failure must not restart the cooldown", got, openState)
+	}
+}
+
+func TestBreakerForceClosed(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(1, time.Hour, clock.Now, nil)
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	b.ForceClosed()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after ForceClosed = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("force-closed breaker must allow requests")
+	}
+}

@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/opencsj/csj/internal/server"
+)
+
+// testCluster is three real shard servers behind a coordinator, plus a
+// single-node reference server holding the same corpus — the oracle
+// the scatter-gather answers are compared against.
+type testCluster struct {
+	coord     *Coordinator
+	front     *httptest.Server
+	shards    []*httptest.Server
+	reference *httptest.Server
+}
+
+func newTestCluster(t *testing.T, cfg Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	names := []string{"alpha", "beta", "gamma"}
+	for _, name := range names {
+		srv := server.New(nil)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { srv.Close() })
+		tc.shards = append(tc.shards, ts)
+		cfg.Shards = append(cfg.Shards, ShardSpec{Name: name, URL: ts.URL})
+	}
+	ref := server.New(nil)
+	tc.reference = httptest.NewServer(ref)
+	t.Cleanup(tc.reference.Close)
+	t.Cleanup(func() { ref.Close() })
+
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	coord, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.coord = coord
+	tc.front = httptest.NewServer(coord)
+	t.Cleanup(tc.front.Close)
+	return tc
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		t.Fatalf("%s %s: status %d, want %d (%s)", method, url, resp.StatusCode, wantStatus, b)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+}
+
+// envelope mirrors Envelope with a raw result for re-decoding.
+type envelope struct {
+	Partial     bool            `json:"partial"`
+	Unreachable []string        `json:"unreachable_shards"`
+	Result      json.RawMessage `json:"result"`
+}
+
+func decodeResult[T any](t *testing.T, env envelope) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(env.Result, &v); err != nil {
+		t.Fatalf("decoding envelope result: %v", err)
+	}
+	return v
+}
+
+// seedCorpus uploads n communities through the coordinator and the
+// same ones directly into the reference server, asserting the
+// coordinator assigns the ids 1..n.
+func seedCorpus(t *testing.T, tc *testCluster, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for i := 1; i <= n; i++ {
+		users := make([][]int32, 6+rng.Intn(10))
+		for u := range users {
+			vec := make([]int32, 4)
+			for d := range vec {
+				vec[d] = int32(rng.Intn(40))
+			}
+			users[u] = vec
+		}
+		p := server.CommunityPayload{Name: fmt.Sprintf("c%02d", i), Category: -1, Users: users}
+		var info server.CommunityInfo
+		doJSON(t, "POST", tc.front.URL+"/communities", p, http.StatusCreated, &info)
+		if info.ID != int64(i) {
+			t.Fatalf("coordinator assigned id %d to upload %d, want %d", info.ID, i, i)
+		}
+		var refInfo server.CommunityInfo
+		doJSON(t, "POST", tc.reference.URL+"/communities", p, http.StatusCreated, &refInfo)
+		if refInfo.ID != info.ID {
+			t.Fatalf("reference id %d diverged from cluster id %d", refInfo.ID, info.ID)
+		}
+	}
+}
+
+func TestClusterMatchesSingleNode(t *testing.T) {
+	tc := newTestCluster(t, Config{})
+	const n = 12
+	seedCorpus(t, tc, n)
+
+	// The ids must actually spread across shards, or the test proves
+	// nothing about merging.
+	owners := map[int]bool{}
+	for id := int64(1); id <= n; id++ {
+		owners[tc.coord.ring.Owner(id)] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("all %d ids landed on one shard; pick a different corpus size", n)
+	}
+
+	t.Run("list", func(t *testing.T) {
+		var env envelope
+		doJSON(t, "GET", tc.front.URL+"/communities", nil, http.StatusOK, &env)
+		if env.Partial {
+			t.Fatal("healthy cluster answered partial=true")
+		}
+		merged := decodeResult[[]server.CommunityInfo](t, env)
+		var ref []server.CommunityInfo
+		doJSON(t, "GET", tc.reference.URL+"/communities", nil, http.StatusOK, &ref)
+		if fmt.Sprint(merged) != fmt.Sprint(ref) {
+			t.Fatalf("cluster list diverged:\n  got  %v\n  want %v", merged, ref)
+		}
+	})
+
+	t.Run("get", func(t *testing.T) {
+		var got, want server.CommunityInfo
+		doJSON(t, "GET", tc.front.URL+"/communities/3", nil, http.StatusOK, &got)
+		doJSON(t, "GET", tc.reference.URL+"/communities/3", nil, http.StatusOK, &want)
+		if got != want {
+			t.Fatalf("cluster get = %+v, want %+v", got, want)
+		}
+		doJSON(t, "GET", tc.front.URL+"/communities/999", nil, http.StatusNotFound, nil)
+	})
+
+	t.Run("rank", func(t *testing.T) {
+		req := server.RankRequest{Pivot: 1, AllCandidates: true, Method: "exminmax", Options: server.OptionsPayload{Epsilon: 8}}
+		var env envelope
+		doJSON(t, "POST", tc.front.URL+"/rank", req, http.StatusOK, &env)
+		if env.Partial {
+			t.Fatal("healthy cluster answered partial=true")
+		}
+		got := decodeResult[[]server.RankEntry](t, env)
+		var want []server.RankEntry
+		doJSON(t, "POST", tc.reference.URL+"/rank", req, http.StatusOK, &want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("cluster rank diverged:\n  got  %v\n  want %v", got, want)
+		}
+	})
+
+	t.Run("rank threshold", func(t *testing.T) {
+		req := server.RankRequest{Pivot: 2, AllCandidates: true, Method: "exminmax", MinSimilarity: 0.3,
+			Options: server.OptionsPayload{Epsilon: 8}}
+		var env envelope
+		doJSON(t, "POST", tc.front.URL+"/rank", req, http.StatusOK, &env)
+		got := decodeResult[[]server.RankEntry](t, env)
+		var want []server.RankEntry
+		doJSON(t, "POST", tc.reference.URL+"/rank", req, http.StatusOK, &want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("cluster threshold rank diverged:\n  got  %v\n  want %v", got, want)
+		}
+	})
+
+	t.Run("rank explicit candidates", func(t *testing.T) {
+		req := server.RankRequest{Pivot: 4, Candidates: []int64{1, 2, 5, 9, 11}, Method: "exminmax",
+			Options: server.OptionsPayload{Epsilon: 8}}
+		var env envelope
+		doJSON(t, "POST", tc.front.URL+"/rank", req, http.StatusOK, &env)
+		got := decodeResult[[]server.RankEntry](t, env)
+		var want []server.RankEntry
+		doJSON(t, "POST", tc.reference.URL+"/rank", req, http.StatusOK, &want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("cluster explicit-candidate rank diverged:\n  got  %v\n  want %v", got, want)
+		}
+	})
+
+	t.Run("topk", func(t *testing.T) {
+		req := server.TopKRequest{Pivot: 1, AllCandidates: true, K: 5,
+			Options: server.OptionsPayload{Epsilon: 8}}
+		var env envelope
+		doJSON(t, "POST", tc.front.URL+"/topk", req, http.StatusOK, &env)
+		got := decodeResult[[]server.TopKEntry](t, env)
+		// The cluster path always uses the exact indexed engine, so the
+		// oracle is the single-node indexed answer.
+		refReq := req
+		refReq.UseIndex = true
+		var want []server.TopKEntry
+		doJSON(t, "POST", tc.reference.URL+"/topk", refReq, http.StatusOK, &want)
+		if len(got) != len(want) {
+			t.Fatalf("cluster topk returned %d entries, want %d", len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.Community != w.Community || g.Exact != w.Exact || g.Name != w.Name {
+				t.Fatalf("topk[%d] = {%d %q %v}, want {%d %q %v}",
+					i, g.Community, g.Name, g.Exact, w.Community, w.Name, w.Exact)
+			}
+		}
+	})
+
+	t.Run("matrix", func(t *testing.T) {
+		req := server.MatrixRequest{Communities: []int64{1, 2, 3, 4, 5, 6, 7},
+			Options: server.OptionsPayload{Epsilon: 8}}
+		var env envelope
+		doJSON(t, "POST", tc.front.URL+"/matrix", req, http.StatusOK, &env)
+		got := decodeResult[[]server.MatrixCell](t, env)
+		var want []server.MatrixCell
+		doJSON(t, "POST", tc.reference.URL+"/matrix", req, http.StatusOK, &want)
+		if len(got) != len(want) {
+			t.Fatalf("cluster matrix returned %d cells, want %d", len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			g.ElapsedMS, w.ElapsedMS = 0, 0
+			if g != w {
+				t.Fatalf("matrix cell %d = %+v, want %+v", i, g, w)
+			}
+		}
+	})
+
+	t.Run("delete", func(t *testing.T) {
+		doJSON(t, "DELETE", tc.front.URL+"/communities/12", nil, http.StatusNoContent, nil)
+		doJSON(t, "GET", tc.front.URL+"/communities/12", nil, http.StatusNotFound, nil)
+		doJSON(t, "DELETE", tc.front.URL+"/communities/12", nil, http.StatusNotFound, nil)
+	})
+}
+
+func TestClusterPartialDegradation(t *testing.T) {
+	tc := newTestCluster(t, Config{
+		Retries:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute, // stays open for the whole test
+		RequestTimeout:   2 * time.Second,
+	})
+	const n = 12
+	seedCorpus(t, tc, n)
+
+	// Kill shard beta (index 1) abruptly: connections refused from here on.
+	downName := tc.coord.cfg.Shards[1].Name
+	tc.shards[1].CloseClientConnections()
+	tc.shards[1].Close()
+
+	// Pick a pivot the dead shard does NOT own, so the profile fetch
+	// succeeds and only beta's partial results go missing.
+	pivot := int64(-1)
+	survivors := map[int64]bool{}
+	for id := int64(1); id <= n; id++ {
+		if tc.coord.owner(id).name != downName {
+			survivors[id] = true
+			if pivot < 0 {
+				pivot = id
+			}
+		}
+	}
+	if pivot < 0 {
+		t.Fatal("no surviving pivot available")
+	}
+
+	req := server.TopKRequest{Pivot: pivot, AllCandidates: true, K: n,
+		Options: server.OptionsPayload{Epsilon: 8}}
+	var env envelope
+	doJSON(t, "POST", tc.front.URL+"/topk", req, http.StatusOK, &env)
+	if !env.Partial {
+		t.Fatal("degraded cluster must flag partial=true")
+	}
+	if len(env.Unreachable) != 1 || env.Unreachable[0] != downName {
+		t.Fatalf("unreachable = %v, want [%s]", env.Unreachable, downName)
+	}
+	got := decodeResult[[]server.TopKEntry](t, env)
+	// Every returned entry must belong to a surviving shard — no
+	// half-answers attributed to the dead one.
+	for _, e := range got {
+		if !survivors[e.Community] {
+			t.Fatalf("degraded answer contains community %d owned by dead shard %s", e.Community, downName)
+		}
+		delete(survivors, e.Community)
+	}
+	delete(survivors, pivot) // the pivot never ranks itself
+	if len(survivors) != 0 {
+		t.Fatalf("degraded answer is missing surviving communities: %v", survivors)
+	}
+
+	// require_complete=1 turns the same degradation into a 503.
+	doJSON(t, "POST", tc.front.URL+"/topk?require_complete=1", req, http.StatusServiceUnavailable, nil)
+
+	// The breaker must have opened; /cluster/status reports it.
+	var status StatusResponse
+	doJSON(t, "GET", tc.front.URL+"/cluster/status", nil, http.StatusOK, &status)
+	var betaState string
+	for _, sh := range status.Shards {
+		if sh.Name == downName {
+			betaState = sh.State
+		}
+	}
+	if betaState != "open" {
+		t.Fatalf("dead shard breaker state = %q, want open", betaState)
+	}
+
+	// Exposition: the csj_cluster_* families must be present and the
+	// dead shard's open-state gauge must read 1.
+	resp, err := http.Get(tc.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		fmt.Sprintf(`csj_cluster_shard_state{shard="%s",state="open"} 1`, downName),
+		"csj_cluster_partial_responses_total 1",
+		"csj_cluster_rejected_incomplete_total 1",
+		"csj_cluster_retries_total",
+		"csj_cluster_probes_total",
+		"csj_cluster_promotions_total 0",
+		"csj_http_requests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestClusterReadyzDrain(t *testing.T) {
+	tc := newTestCluster(t, Config{})
+	doJSON(t, "GET", tc.front.URL+"/readyz", nil, http.StatusOK, nil)
+	tc.coord.BeginDrain()
+	doJSON(t, "GET", tc.front.URL+"/readyz", nil, http.StatusServiceUnavailable, nil)
+	// Liveness is unaffected by draining.
+	doJSON(t, "GET", tc.front.URL+"/healthz", nil, http.StatusOK, nil)
+}
+
+func TestClusterCreateRejectsWhenAllocatorBlind(t *testing.T) {
+	// With a shard down before the first write, the id allocator cannot
+	// prove the cluster-wide max id, so creates must fail loudly rather
+	// than risk a duplicate id.
+	tc := newTestCluster(t, Config{Retries: 0, BreakerThreshold: 100, RequestTimeout: time.Second})
+	tc.shards[2].CloseClientConnections()
+	tc.shards[2].Close()
+	p := server.CommunityPayload{Name: "x", Category: -1, Users: [][]int32{{1, 2}, {3, 4}}}
+	doJSON(t, "POST", tc.front.URL+"/communities", p, http.StatusServiceUnavailable, nil)
+}

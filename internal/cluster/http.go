@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"github.com/opencsj/csj/internal/metrics"
+)
+
+// HTTP plumbing of the coordinator: the same route-labeled
+// instrumentation scheme as the shard server (internal/metrics
+// RouteSet), panic recovery, and the status/metrics endpoints.
+
+// handle registers a route, records its pattern for the route-coverage
+// check, and attaches the route's instrument set.
+func (c *Coordinator) handle(pattern string, h http.HandlerFunc) {
+	c.patterns = append(c.patterns, pattern)
+	if c.metrics == nil {
+		c.mux.HandleFunc(pattern, h)
+		return
+	}
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("cluster: route pattern without method: " + pattern)
+	}
+	rm := c.metrics.routes.Route(method, path)
+	c.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if rec, isRec := w.(*responseRecorder); isRec {
+			rec.rm = rm
+		}
+		h(w, r)
+	})
+}
+
+// Patterns returns every registered "METHOD /path" pattern — the
+// route-coverage check's input.
+func (c *Coordinator) Patterns() []string { return c.patterns }
+
+// HasRouteMetric reports whether a pattern has a route-label entry.
+func (c *Coordinator) HasRouteMetric(pattern string) bool {
+	if c.metrics == nil {
+		return false
+	}
+	return c.metrics.routes.Has(pattern)
+}
+
+// responseRecorder captures the final status for metrics and logging.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	rm     *metrics.RouteInstruments
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// ServeHTTP implements http.Handler with panic recovery and
+// per-endpoint instrumentation.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &responseRecorder{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if c.metrics != nil {
+			rm := rec.rm
+			if rm == nil {
+				rm = c.metrics.routes.Unmatched
+			}
+			rm.Observe(status, time.Since(start))
+		}
+		c.logf("request method=%s path=%s status=%d dur=%s",
+			r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond))
+	}()
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if p == http.ErrAbortHandler {
+			panic(p)
+		}
+		c.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+		c.writeErr(rec, http.StatusInternalServerError, errors.New("internal server error"))
+	}()
+	c.mux.ServeHTTP(rec, r)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := c.metrics.reg.WritePrometheus(w); err != nil {
+		c.logf("writing /metrics: %v", err)
+	}
+}
+
+// ShardStatus is one shard's entry in the /cluster/status response.
+type ShardStatus struct {
+	Name     string `json:"name"`
+	Primary  string `json:"primary"`
+	Replica  string `json:"replica,omitempty"`
+	Active   string `json:"active"`
+	State    string `json:"state"`
+	Promoted bool   `json:"promoted,omitempty"`
+	// DownForMS is how long the current outage has lasted (0 while
+	// healthy) — the countdown toward PromoteAfter.
+	DownForMS int64 `json:"down_for_ms,omitempty"`
+}
+
+// StatusResponse is the GET /cluster/status body. Goroutines and
+// OpenFDs are the coordinator's own resource counters; clusterguard
+// diffs them across the chaos run to catch leaks.
+type StatusResponse struct {
+	Shards     []ShardStatus `json:"shards"`
+	Goroutines int           `json:"goroutines"`
+	OpenFDs    int           `json:"open_fds"`
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	resp := StatusResponse{
+		Goroutines: runtime.NumGoroutine(),
+		OpenFDs:    countOpenFDs(),
+	}
+	now := time.Now()
+	for _, sh := range c.shards {
+		st := ShardStatus{
+			Name:     sh.name,
+			Primary:  sh.primary,
+			Replica:  sh.replica,
+			Active:   sh.activeURL(),
+			State:    sh.breaker.State().String(),
+			Promoted: sh.promoted.Load(),
+		}
+		if since := sh.downSince.Load(); since != 0 {
+			st.DownForMS = now.Sub(time.Unix(0, since)).Milliseconds()
+		}
+		resp.Shards = append(resp.Shards, st)
+	}
+	c.writeJSON(w, http.StatusOK, resp)
+}
+
+// countOpenFDs counts this process's open file descriptors via
+// /proc/self/fd; -1 where proc is unavailable. The absolute number
+// includes the transient fd of the readdir itself — callers compare
+// deltas, where the constant bias cancels.
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// ---- request/response helpers ----
+
+func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		c.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		c.logf("encoding response: %v", err)
+	}
+}
+
+func (c *Coordinator) writeErr(w http.ResponseWriter, status int, err error) {
+	c.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.log != nil {
+		c.log.Printf(format, args...)
+	}
+}

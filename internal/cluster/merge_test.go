@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/opencsj/csj/internal/server"
+)
+
+func TestMergeRankOrdering(t *testing.T) {
+	in := []server.RankEntry{
+		{Community: 5, Similarity: 0.2},
+		{Community: 9, Skipped: true},
+		{Community: 1, Similarity: 0.8},
+		{Community: 3, Similarity: 0.8},
+		{Community: 7, Error: "size constraint"},
+		{Community: 2, Similarity: 0.5},
+	}
+	got := mergeRank(in)
+	wantIDs := []int64{1, 3, 2, 5, 7, 9}
+	ids := make([]int64, len(got))
+	for i, e := range got {
+		ids[i] = e.Community
+	}
+	if !reflect.DeepEqual(ids, wantIDs) {
+		t.Fatalf("merged order = %v, want %v (sim desc, id asc; unscored tail by id)", ids, wantIDs)
+	}
+}
+
+func TestMergeTopKCutsAtK(t *testing.T) {
+	in := []server.TopKEntry{
+		{Community: 4, Exact: 0.1},
+		{Community: 2, Exact: 0.9},
+		{Community: 8, Skipped: true},
+		{Community: 6, Exact: 0.9},
+		{Community: 1, Exact: 0.4},
+	}
+	got := mergeTopK(in, 3)
+	wantIDs := []int64{2, 6, 1}
+	ids := make([]int64, len(got))
+	for i, e := range got {
+		ids[i] = e.Community
+	}
+	if !reflect.DeepEqual(ids, wantIDs) {
+		t.Fatalf("top-3 = %v, want %v", ids, wantIDs)
+	}
+}
+
+func TestMergeTopKPadsWithSkipped(t *testing.T) {
+	in := []server.TopKEntry{
+		{Community: 4, Exact: 0.3},
+		{Community: 9, Skipped: true},
+		{Community: 5, Skipped: true},
+	}
+	got := mergeTopK(in, 3)
+	wantIDs := []int64{4, 5, 9}
+	ids := make([]int64, len(got))
+	for i, e := range got {
+		ids[i] = e.Community
+	}
+	if !reflect.DeepEqual(ids, wantIDs) {
+		t.Fatalf("padded top-3 = %v, want %v (skipped pad in id order)", ids, wantIDs)
+	}
+}

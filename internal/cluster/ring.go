@@ -1,0 +1,91 @@
+// Package cluster is the shard-aware serving tier (DESIGN.md §13): a
+// coordinator that consistent-hashes communities across N csjserve
+// shards and scatter-gathers the paper's Rank/TopK/Matrix queries,
+// merging partial answers shard-side results instead of shipping full
+// result sets. A per-shard circuit breaker, bounded retries with
+// jittered backoff, and WAL-shipped replica promotion keep answers
+// correct-or-explicitly-degraded under partial failure.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerShard is how many ring points each shard contributes.
+// Enough that a 3-shard ring splits ids within a few percent of even;
+// cheap enough that Owner stays a binary search over a few hundred
+// points.
+const vnodesPerShard = 64
+
+// Ring maps community ids onto shards by consistent hashing: each
+// shard owns the arc below each of its virtual points. The mapping is
+// a pure function of the shard names, so every process that knows the
+// shard list — coordinator, clusterguard, a future rebalancer —
+// computes identical ownership without coordination.
+type Ring struct {
+	points []ringPoint // ascending hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds the ring over the given shard names. Names must be
+// distinct; order does not affect ownership (only names are hashed).
+func NewRing(names []string) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	seen := make(map[string]bool, len(names))
+	r := &Ring{points: make([]ringPoint, 0, len(names)*vnodesPerShard)}
+	for i, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", name)
+		}
+		seen[name] = true
+		for v := 0; v < vnodesPerShard; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashString(fmt.Sprintf("%s#%d", name, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		p, q := r.points[i], r.points[j]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		// Hash ties (astronomically rare) break by shard index so the
+		// ring is still a pure function of the name list.
+		return p.shard < q.shard
+	})
+	return r, nil
+}
+
+// Owner returns the shard index owning community id.
+func (r *Ring) Owner(id int64) int {
+	h := hashID(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the top arc
+	}
+	return r.points[i].shard
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func hashID(id int64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(id))
+	h := fnv.New64a()
+	h.Write(b[:])
+	return h.Sum64()
+}

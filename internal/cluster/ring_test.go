@@ -1,0 +1,53 @@
+package cluster
+
+import "testing"
+
+func TestRingDeterministic(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma"}
+	r1, err := NewRing(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 2000; id++ {
+		if a, b := r1.Owner(id), r2.Owner(id); a != b {
+			t.Fatalf("id %d: owner %d vs %d — ring must be a pure function of the shard names", id, a, b)
+		}
+	}
+}
+
+func TestRingCoversAllShards(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma"}
+	r, err := NewRing(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(names))
+	const n = 10000
+	for id := int64(1); id <= n; id++ {
+		owner := r.Owner(id)
+		if owner < 0 || owner >= len(names) {
+			t.Fatalf("id %d: owner index %d out of range", id, owner)
+		}
+		counts[owner]++
+	}
+	// With 64 vnodes per shard the split should be roughly even; assert
+	// a loose floor so the test does not chase hash constants.
+	for i, c := range counts {
+		if c < n/len(names)/3 {
+			t.Fatalf("shard %s owns only %d/%d ids — distribution badly skewed: %v", names[i], c, n, counts)
+		}
+	}
+}
+
+func TestRingRejectsBadNames(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty shard list must be rejected")
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate shard names must be rejected")
+	}
+}

@@ -1,0 +1,285 @@
+package durable
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Follower mirrors a leader's durable log directory byte-for-byte over
+// HTTP (the /wal/* endpoints of internal/server): checkpoints are
+// pulled whole, segments are tailed with offset resume. Because files
+// are copied exactly and segment sizes are only trusted from the
+// leader's rotation-consistent ShipStatus, the mirrored directory is
+// at every moment a valid durable directory — promotion is nothing
+// more than running the ordinary recovery path (Open) over it.
+//
+// Run/SyncOnce must not race Open on the same directory: stop the
+// follower first, then promote.
+type Follower struct {
+	dir    string
+	leader string // base URL, no trailing slash
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	mu sync.Mutex
+	st FollowerStatus
+}
+
+// FollowerStatus reports replication progress, served by csjserve's
+// follow mode so operators (and clusterguard) can see catch-up state.
+type FollowerStatus struct {
+	LeaderURL string `json:"leader_url"`
+	// Rounds counts completed SyncOnce calls (successful or not).
+	Rounds int64 `json:"rounds"`
+	// LastError is the most recent round's failure, empty after a
+	// clean round.
+	LastError string `json:"last_error,omitempty"`
+	// CheckpointSeq is the newest leader checkpoint mirrored locally.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Segments counts the segments present in the last leader status.
+	Segments int `json:"segments"`
+	// BytesMirrored accumulates segment bytes pulled since start.
+	BytesMirrored int64 `json:"bytes_mirrored"`
+	// CaughtUp reports that the last round left every listed segment
+	// at exactly the leader-reported size.
+	CaughtUp bool `json:"caught_up"`
+}
+
+// NewFollower prepares a mirror of leaderURL's log under dir, creating
+// the directory if needed. client may be nil for http.DefaultClient;
+// logf may be nil.
+func NewFollower(dir, leaderURL string, client *http.Client, logf func(format string, args ...any)) (*Follower, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating follower dir: %w", err)
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	for len(leaderURL) > 0 && leaderURL[len(leaderURL)-1] == '/' {
+		leaderURL = leaderURL[:len(leaderURL)-1]
+	}
+	f := &Follower{dir: dir, leader: leaderURL, client: client, logf: logf}
+	f.st.LeaderURL = leaderURL
+	return f, nil
+}
+
+// Status returns a snapshot of replication progress.
+func (f *Follower) Status() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// Run polls SyncOnce every interval until ctx is done. Individual
+// round failures are logged and retried — a follower's job is to keep
+// trying until its leader comes back or it gets promoted.
+func (f *Follower) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if err := f.SyncOnce(ctx); err != nil && ctx.Err() == nil {
+			if f.logf != nil {
+				f.logf("follower: sync: %v", err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// SyncOnce performs one replication round: fetch the leader's ship
+// status, mirror the newest checkpoint if missing, catch every listed
+// segment up to its reported size, then garbage-collect local files
+// the checkpoint superseded.
+func (f *Follower) SyncOnce(ctx context.Context) (err error) {
+	defer func() {
+		f.mu.Lock()
+		f.st.Rounds++
+		if err != nil {
+			f.st.LastError = err.Error()
+			f.st.CaughtUp = false
+		} else {
+			f.st.LastError = ""
+		}
+		f.mu.Unlock()
+	}()
+
+	st, err := f.fetchStatus(ctx)
+	if err != nil {
+		return err
+	}
+	if st.HasCheckpoint {
+		if err := f.mirrorCheckpoint(ctx, st.CheckpointSeq); err != nil {
+			return err
+		}
+	}
+	var pulled int64
+	for _, seg := range st.Segments {
+		n, err := f.mirrorSegment(ctx, seg)
+		pulled += n
+		if err != nil {
+			f.mu.Lock()
+			f.st.BytesMirrored += pulled
+			f.mu.Unlock()
+			return err
+		}
+	}
+	if st.HasCheckpoint {
+		// Same GC the leader runs after a checkpoint commit: everything
+		// below the checkpoint is superseded by it.
+		removeBelow(f.dir, st.CheckpointSeq)
+	}
+	f.mu.Lock()
+	f.st.BytesMirrored += pulled
+	if st.HasCheckpoint {
+		f.st.CheckpointSeq = st.CheckpointSeq
+	}
+	f.st.Segments = len(st.Segments)
+	f.st.CaughtUp = true
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Follower) fetchStatus(ctx context.Context) (ShipStatus, error) {
+	var st ShipStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+"/wal/status", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return st, fmt.Errorf("durable: fetching leader status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("durable: leader status: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("durable: decoding leader status: %w", err)
+	}
+	return st, nil
+}
+
+// mirrorCheckpoint downloads checkpoint seq unless already present.
+// The write is tmp+rename+dir-fsync — the same atomic install the
+// leader uses, so a follower crash can never leave a half checkpoint
+// under a committed name (scanDir sweeps *.tmp leftovers).
+func (f *Follower) mirrorCheckpoint(ctx context.Context, seq uint64) error {
+	path := filepath.Join(f.dir, ckptName(seq))
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/wal/checkpoint/%d", f.leader, seq), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("durable: fetching checkpoint %d: %w", seq, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("durable: checkpoint %d: HTTP %d", seq, resp.StatusCode)
+	}
+	tmp := path + ".tmp"
+	out, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(out, resp.Body)
+	if err == nil {
+		err = out.Sync()
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: writing checkpoint %d: %w", seq, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(f.dir)
+}
+
+// mirrorSegment catches the local copy of segment seq up to the size
+// the leader reported this round, returning how many bytes it pulled.
+// The leader's reported size is the segment's logical size — always a
+// frame boundary — so a fully caught-up local copy never holds a torn
+// frame mid-sequence, which is exactly the invariant the recovery
+// path's corruption check demands at promotion time.
+func (f *Follower) mirrorSegment(ctx context.Context, seg SegmentInfo) (int64, error) {
+	path := filepath.Join(f.dir, segName(seg.Seq))
+	// O_APPEND: resumed pulls must land at the local tail, not at file
+	// position 0 — each HTTP range starts where the local copy ends.
+	out, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer out.Close()
+	fi, err := out.Stat()
+	if err != nil {
+		return 0, err
+	}
+	local := fi.Size()
+	if local > seg.Size {
+		// The leader's recovery truncated a torn tail we had already
+		// mirrored (leader restarted). Mirror the truncation too.
+		if err := out.Truncate(seg.Size); err != nil {
+			return 0, err
+		}
+		local = seg.Size
+	}
+	var pulled int64
+	for local < seg.Size {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s/wal/segments/%d?offset=%d", f.leader, seg.Seq, local), nil)
+		if err != nil {
+			return pulled, err
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return pulled, fmt.Errorf("durable: pulling segment %d@%d: %w", seg.Seq, local, err)
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			// Checkpointed away mid-round; the next round's status no
+			// longer lists it.
+			return pulled, fmt.Errorf("durable: segment %d vanished on leader (checkpoint passed it)", seg.Seq)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return pulled, fmt.Errorf("durable: segment %d: HTTP %d", seg.Seq, resp.StatusCode)
+		}
+		want := seg.Size - local
+		n, err := io.Copy(out, io.LimitReader(resp.Body, want))
+		resp.Body.Close()
+		pulled += n
+		local += n
+		if err != nil {
+			return pulled, fmt.Errorf("durable: pulling segment %d@%d: %w", seg.Seq, local, err)
+		}
+		if n == 0 {
+			return pulled, fmt.Errorf("durable: segment %d stalled at %d/%d", seg.Seq, local, seg.Size)
+		}
+	}
+	if pulled > 0 {
+		if err := out.Sync(); err != nil {
+			return pulled, err
+		}
+	}
+	return pulled, nil
+}

@@ -1,0 +1,143 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Segment shipping (DESIGN.md §13): the read side of WAL replication.
+// A leader exposes these three calls over HTTP (internal/server's
+// /wal/* endpoints) and a Follower mirrors the directory byte-for-byte
+// — checkpoints and segments are immutable once written (segments only
+// ever grow at the tail, and only while newest), so "replicate the
+// log" reduces to "copy files with offset resume". Promotion then runs
+// the ordinary recovery path over the mirrored directory: the replica
+// boots exactly like the leader would have after a clean kill.
+
+// SegmentInfo describes one live WAL segment.
+type SegmentInfo struct {
+	Seq  uint64 `json:"seq"`
+	Size int64  `json:"size"`
+}
+
+// ShipStatus is the shippable state of the log: the newest installed
+// checkpoint and every live segment with its current logical size.
+// Taken under the log's lock, so the view is rotation-consistent: if a
+// segment N+1 is listed, segment N's size is final.
+type ShipStatus struct {
+	HasCheckpoint bool          `json:"has_checkpoint"`
+	CheckpointSeq uint64        `json:"checkpoint_seq"`
+	Segments      []SegmentInfo `json:"segments"`
+}
+
+// TotalBytes sums the listed segment sizes — the follower lag metric's
+// denominator.
+func (st ShipStatus) TotalBytes() int64 {
+	var n int64
+	for _, s := range st.Segments {
+		n += s.Size
+	}
+	return n
+}
+
+// ShipStatus snapshots the log for followers. The active segment
+// reports its logical size (always a frame boundary — appends move it
+// by whole frames), so a follower that mirrors exactly up to the
+// reported size can never capture half a record.
+func (l *Log) ShipStatus() (ShipStatus, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ShipStatus{}, ErrClosed
+	}
+	ds, err := scanDir(l.dir)
+	if err != nil {
+		return ShipStatus{}, fmt.Errorf("durable: scanning %s: %w", l.dir, err)
+	}
+	st := ShipStatus{}
+	if n := len(ds.checkpoints); n > 0 {
+		st.HasCheckpoint = true
+		st.CheckpointSeq = ds.checkpoints[n-1]
+	}
+	for _, seq := range ds.segments {
+		var size int64
+		if seq == l.seq {
+			size = l.size
+		} else {
+			fi, err := os.Stat(filepath.Join(l.dir, segName(seq)))
+			if err != nil {
+				// GC'd between scan and stat (checkpoint commit runs
+				// outside the lock); the follower catches up next round.
+				continue
+			}
+			size = fi.Size()
+		}
+		st.Segments = append(st.Segments, SegmentInfo{Seq: seq, Size: size})
+	}
+	return st, nil
+}
+
+// ReadSegmentAt copies segment bytes starting at off into buf and
+// returns how many were read. Reads of the active segment are capped
+// at its logical size, so a concurrent append's partially written
+// frame is never shipped. A missing segment (GC'd, or a seq the log
+// never reached) reports fs.ErrNotExist via os.Open.
+func (l *Log) ReadSegmentAt(seq uint64, off int64, buf []byte) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("durable: negative segment offset %d", off)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	limit := int64(-1)
+	if seq == l.seq {
+		limit = l.size
+	}
+	l.mu.Unlock()
+
+	f, err := os.Open(filepath.Join(l.dir, segName(seq)))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if limit < 0 {
+		// A rotated segment is frozen; its file size is its final size.
+		fi, err := f.Stat()
+		if err != nil {
+			return 0, err
+		}
+		limit = fi.Size()
+	}
+	if off >= limit {
+		return 0, nil
+	}
+	want := int64(len(buf))
+	if want > limit-off {
+		want = limit - off
+	}
+	n, err := f.ReadAt(buf[:want], off)
+	if err == io.EOF && int64(n) == want {
+		err = nil
+	}
+	return n, err
+}
+
+// OpenCheckpoint opens a checkpoint file for streaming to a follower.
+// The caller closes the reader. Checkpoints are written atomically
+// (tmp+rename) and never modified, so the stream is torn-proof.
+func (l *Log) OpenCheckpoint(seq uint64) (io.ReadCloser, int64, error) {
+	f, err := os.Open(filepath.Join(l.dir, ckptName(seq)))
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, fi.Size(), nil
+}

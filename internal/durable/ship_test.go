@@ -1,0 +1,274 @@
+package durable
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/opencsj/csj/internal/store"
+)
+
+// shipMux serves a log's ship API the way internal/server does, so the
+// follower can be exercised end-to-end without importing the server
+// (which would cycle back into this package).
+func shipMux(t *testing.T, l *Log) *http.ServeMux {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /wal/status", func(w http.ResponseWriter, _ *http.Request) {
+		st, err := l.ShipStatus()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("GET /wal/segments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		seq, _ := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		off, _ := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
+		buf := make([]byte, 64) // tiny chunks force the resume loop
+		n, err := l.ReadSegmentAt(seq, off, buf)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				http.Error(w, "no segment", http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(buf[:n])
+	})
+	mux.HandleFunc("GET /wal/checkpoint/{id}", func(w http.ResponseWriter, r *http.Request) {
+		seq, _ := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		rc, _, err := l.OpenCheckpoint(seq)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				http.Error(w, "no checkpoint", http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer rc.Close()
+		io.Copy(w, rc)
+	})
+	return mux
+}
+
+func TestShipStatusReportsFrameAlignedSizes(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, Options{Fsync: FsyncOff})
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		if err := l.AppendPut(int64(i), uint64(i), testComm(fmt.Sprintf("c%d", i), int64(i), 8, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := l.ShipStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(st.Segments))
+	}
+	l.mu.Lock()
+	logical := l.size
+	l.mu.Unlock()
+	if st.Segments[0].Size != logical {
+		t.Errorf("reported size %d != logical size %d", st.Segments[0].Size, logical)
+	}
+	// Reads stop at the logical size and report ErrNotExist for unknown
+	// segments.
+	buf := make([]byte, 1<<20)
+	n, err := l.ReadSegmentAt(st.Segments[0].Seq, 0, buf)
+	if err != nil || int64(n) != logical {
+		t.Errorf("ReadSegmentAt full = (%d, %v), want (%d, nil)", n, err, logical)
+	}
+	if n, err := l.ReadSegmentAt(st.Segments[0].Seq, logical, buf); n != 0 || err != nil {
+		t.Errorf("read at end = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := l.ReadSegmentAt(st.Segments[0].Seq+7, 0, buf); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing segment error = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestFollowerMirrorsAndPromotes is the replication contract end to
+// end: a follower that tails the leader over HTTP recovers, at
+// promotion time, the exact store image the leader itself would
+// recover — including across a checkpoint (segment rotation + GC) and
+// incremental resume.
+func TestFollowerMirrorsAndPromotes(t *testing.T) {
+	leaderDir := t.TempDir()
+	l := openLog(t, leaderDir, Options{Fsync: FsyncOff})
+	st := store.New(store.Config{Persistence: l, Seed: l.Seed()})
+	for i := 0; i < 6; i++ {
+		if _, err := st.Create(testComm(fmt.Sprintf("pre%d", i), int64(i), 10, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(shipMux(t, l))
+	defer srv.Close()
+	followDir := t.TempDir()
+	f, err := NewFollower(followDir, srv.URL, srv.Client(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if !f.Status().CaughtUp {
+		t.Error("follower not caught up after clean sync")
+	}
+
+	// Checkpoint (rotates the segment, GCs the old one) and keep
+	// writing; the follower must pick up the checkpoint, drop the
+	// superseded mirror files, and resume the new segment.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := st.Create(testComm(fmt.Sprintf("post%d", i), 100+int64(i), 10, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+
+	if err := st.Close(); err != nil { // closes the log underneath
+		t.Fatal(err)
+	}
+
+	// Promotion = ordinary recovery over the mirrored directory.
+	ll := openLog(t, leaderDir, Options{Fsync: FsyncOff})
+	leaderSeed := serializeSeed(t, ll.Seed())
+	ll.Close()
+	fl := openLog(t, followDir, Options{Fsync: FsyncOff})
+	followSeed := serializeSeed(t, fl.Seed())
+	fl.Close()
+	if string(leaderSeed) != string(followSeed) {
+		t.Fatal("promoted follower recovered a different store image than the leader")
+	}
+
+	// The follower mirrored the GC too: no pre-checkpoint files left.
+	ds, err := scanDir(followDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.checkpoints) != 1 {
+		t.Errorf("follower checkpoints = %v, want exactly one", ds.checkpoints)
+	}
+	for _, seq := range ds.segments {
+		if seq < ds.checkpoints[0] {
+			t.Errorf("follower kept pre-checkpoint segment %d", seq)
+		}
+	}
+}
+
+// TestFollowerResumesGrowingSegment: the same segment grows between
+// sync rounds (no rotation), so the second round must append the new
+// bytes at the local tail. A follower that writes resumed ranges at
+// file position 0 corrupts the mirror's segment header — exactly the
+// state promotion-time recovery refuses to open.
+func TestFollowerResumesGrowingSegment(t *testing.T) {
+	leaderDir := t.TempDir()
+	l := openLog(t, leaderDir, Options{Fsync: FsyncOff})
+	if err := l.AppendPut(1, 1, testComm("a", 1, 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(shipMux(t, l))
+	defer srv.Close()
+	followDir := t.TempDir()
+	f, err := NewFollower(followDir, srv.URL, srv.Client(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Grow the segment the follower already holds.
+	for i := int64(2); i <= 4; i++ {
+		if err := l.AppendPut(i, uint64(i), testComm(fmt.Sprintf("c%d", i), i, 8, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stt, err := l.ShipStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := stt.Segments[0].Seq
+	want, err := os.ReadFile(filepath.Join(leaderDir, segName(seq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(followDir, segName(seq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:min(len(got), len(want))]) != string(want[:min(len(got), len(want))]) || len(got) != len(want) {
+		t.Fatalf("mirrored segment diverged from leader (%d bytes vs %d)", len(got), len(want))
+	}
+	l.Close()
+	// Promotion must succeed over the resumed mirror.
+	fl := openLog(t, followDir, Options{Fsync: FsyncOff})
+	if got := len(fl.Seed().Entries); got != 4 {
+		t.Errorf("promoted mirror recovered %d communities, want 4", got)
+	}
+	fl.Close()
+}
+
+// TestFollowerTruncatesRegressedSegment: when the leader's recovery
+// truncated a torn tail the follower had already mirrored, the
+// follower shortens its copy to match instead of keeping bytes the
+// leader disowned.
+func TestFollowerTruncatesRegressedSegment(t *testing.T) {
+	leaderDir := t.TempDir()
+	l := openLog(t, leaderDir, Options{Fsync: FsyncOff})
+	if err := l.AppendPut(1, 1, testComm("a", 1, 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(shipMux(t, l))
+	defer srv.Close()
+	followDir := t.TempDir()
+	f, err := NewFollower(followDir, srv.URL, srv.Client(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Fake "follower ran ahead": pad its local copy with junk beyond
+	// the leader's logical size.
+	ds, _ := scanDir(followDir)
+	path := filepath.Join(followDir, segName(ds.segments[0]))
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh.Write([]byte("torn tail junk"))
+	fh.Close()
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stt, _ := l.ShipStatus()
+	if fi.Size() != stt.Segments[0].Size {
+		t.Errorf("follower segment size %d, want leader's %d", fi.Size(), stt.Segments[0].Size)
+	}
+	l.Close()
+}

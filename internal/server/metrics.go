@@ -20,38 +20,17 @@ import (
 // events fed from finished joins, batch-pool worker utilization, and
 // opt-in net/http/pprof.
 
-// statusClasses are the status-class label values, indexed status/100.
-var statusClasses = [...]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
-
-// routeMetrics is the instrument set of one registered route.
-type routeMetrics struct {
-	seconds *metrics.Histogram
-	byClass [len(statusClasses)]*metrics.Counter
-}
-
-func (rm *routeMetrics) observe(status int, elapsed time.Duration) {
-	if rm == nil {
-		return
-	}
-	class := status / 100
-	if class < 1 || class >= len(statusClasses) {
-		class = 5
-	}
-	rm.byClass[class].Inc()
-	rm.seconds.Observe(elapsed.Seconds())
-}
-
 // serverMetrics bundles the service's live instruments. A nil
 // *serverMetrics (Config.DisableMetrics) turns every observation into
 // a no-op.
 type serverMetrics struct {
 	reg *metrics.Registry
 
-	// routes maps a registered mux pattern ("POST /similarity") to its
-	// instruments; fallthrough covers requests no route matched (404s,
-	// bad methods).
-	routes    map[string]*routeMetrics
-	unmatched *routeMetrics
+	// routes holds the per-endpoint instrument sets (latency histogram
+	// plus status-class counters, see internal/metrics.RouteSet); its
+	// Unmatched entry covers requests no route matched (404s, bad
+	// methods).
+	routes *metrics.RouteSet
 
 	inflight *metrics.Gauge
 	rejected *metrics.Counter
@@ -89,7 +68,7 @@ func newServerMetrics() *serverMetrics {
 	reg := metrics.NewRegistry()
 	m := &serverMetrics{
 		reg:    reg,
-		routes: make(map[string]*routeMetrics),
+		routes: metrics.NewRouteSet(reg),
 		inflight: reg.Gauge("csj_http_inflight_heavy",
 			"Heavy join requests currently holding an admission slot.", nil),
 		rejected: reg.Counter("csj_http_rejected_total",
@@ -132,28 +111,12 @@ func newServerMetrics() *serverMetrics {
 		indexPruned: reg.Counter("csj_index_candidates_pruned_total",
 			"Candidates eliminated by the envelope index without running a join.", nil),
 	}
-	m.unmatched = m.route("other", "other")
 	return m
 }
 
 // route registers (or returns) the instrument set for one endpoint.
-func (m *serverMetrics) route(method, path string) *routeMetrics {
-	key := method + " " + path
-	if rm, ok := m.routes[key]; ok {
-		return rm
-	}
-	rm := &routeMetrics{
-		seconds: m.reg.Histogram("csj_http_request_seconds",
-			"Request latency by endpoint.",
-			metrics.Labels{"method": method, "route": path}, nil),
-	}
-	for class := 1; class < len(statusClasses); class++ {
-		rm.byClass[class] = m.reg.Counter("csj_http_requests_total",
-			"Requests completed, by endpoint and status class.",
-			metrics.Labels{"method": method, "route": path, "class": statusClasses[class]})
-	}
-	m.routes[key] = rm
-	return rm
+func (m *serverMetrics) route(method, path string) *metrics.RouteInstruments {
+	return m.routes.Route(method, path)
 }
 
 // observeJoinEvents feeds one finished join's tallies into the scan
@@ -261,12 +224,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // default-mux registrations of the pprof package are not served).
 // Gate this behind Config.EnablePprof: profiles reveal internals and
 // profiling costs CPU, so expose it on trusted networks only.
+// Registration goes through handle so even the debug routes carry
+// route labels instead of polluting the "other" bucket.
 func (s *Server) mountPprof() {
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.handle("GET /debug/pprof/", pprof.Index)
+	s.handle("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.handle("GET /debug/pprof/profile", pprof.Profile)
+	s.handle("GET /debug/pprof/symbol", pprof.Symbol)
+	s.handle("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // responseRecorder captures the status and byte count a handler writes
@@ -277,7 +242,7 @@ type responseRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
-	rm     *routeMetrics
+	rm     *metrics.RouteInstruments
 }
 
 func (r *responseRecorder) WriteHeader(status int) {
@@ -320,9 +285,9 @@ func (s *Server) finishRequest(rec *responseRecorder, r *http.Request, start tim
 	if s.metrics != nil {
 		rm := rec.rm
 		if rm == nil {
-			rm = s.metrics.unmatched
+			rm = s.metrics.routes.Unmatched
 		}
-		rm.observe(status, elapsed)
+		rm.Observe(status, elapsed)
 	}
 	s.logf("request method=%s path=%s status=%d bytes=%d dur=%s",
 		r.Method, r.URL.Path, status, rec.bytes, elapsed.Round(time.Microsecond))

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	csj "github.com/opencsj/csj"
@@ -37,6 +38,17 @@ type Server struct {
 	// entries, copy-on-write snapshots, and the shared prepared-view
 	// cache that makes repeated joins zero-rebuild.
 	store *store.Store
+	// patterns records every mux pattern registered through handle, so
+	// the route-coverage check (`make routecheck`) can prove each one
+	// has a route-label entry in the metrics — no silent "other"
+	// buckets for new routes.
+	patterns []string
+	// notReady, while true, makes /readyz answer 503: set during
+	// graceful drain (BeginDrain) so load balancers and the cluster
+	// coordinator's health probe stop routing here before the listener
+	// closes. /healthz stays 200 — the process is alive, just not
+	// accepting new work.
+	notReady atomic.Bool
 
 	mu       sync.RWMutex // guards joins and nextJoin only
 	joins    map[int64]*joinState
@@ -99,9 +111,11 @@ func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 		IndexBuckets:  s.cfg.IndexBuckets,
 	})
 	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /readyz", s.handleReady)
 	s.handle("POST /communities", s.handleCreateCommunity)
 	s.handle("GET /communities", s.handleListCommunities)
 	s.handle("GET /communities/{id}", s.handleGetCommunity)
+	s.handle("GET /communities/{id}/profile", s.handleCommunityProfile)
 	s.handle("DELETE /communities/{id}", s.handleDeleteCommunity)
 	// The four join endpoints run O(n²)-ish scans; they pass through
 	// admission control and get a compute deadline.
@@ -113,6 +127,21 @@ func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 	s.handle("GET /joins/{id}", s.handleGetJoin)
 	s.handle("POST /joins/{id}/users", s.handleJoinAddUser)
 	s.handle("DELETE /joins/{id}/users/{side}/{uid}", s.handleJoinRemoveUser)
+	// Shard-local merge endpoints for the cluster coordinator
+	// (DESIGN.md §13): explicit-id ingest and inline-pivot queries over
+	// this shard's local candidates. Same engines, same store, same
+	// admission control as the public endpoints.
+	s.handle("POST /internal/communities", s.handleInternalCreate)
+	s.handle("POST /internal/rank", s.heavy(s.handleInternalRank))
+	s.handle("POST /internal/topk", s.heavy(s.handleInternalTopK))
+	s.handle("POST /internal/matrix", s.heavy(s.handleInternalMatrix))
+	if s.cfg.Durable != nil {
+		// WAL segment shipping (DESIGN.md §13): followers tail these to
+		// mirror the leader's log byte-for-byte.
+		s.handle("GET /wal/status", s.handleWALStatus)
+		s.handle("GET /wal/segments/{id}", s.handleWALSegment)
+		s.handle("GET /wal/checkpoint/{id}", s.handleWALCheckpoint)
+	}
 	if s.metrics != nil {
 		s.handle("GET /metrics", s.handleMetrics)
 	}
@@ -127,6 +156,7 @@ func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 // request's response recorder (created in ServeHTTP). The pattern must
 // be "METHOD /path".
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.patterns = append(s.patterns, pattern)
 	if s.metrics == nil {
 		s.mux.HandleFunc(pattern, h)
 		return
@@ -142,6 +172,19 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		}
 		h(w, r)
 	})
+}
+
+// Patterns returns every registered "METHOD /path" pattern — the
+// route-coverage check's input (`make routecheck`).
+func (s *Server) Patterns() []string { return s.patterns }
+
+// HasRouteMetric reports whether a pattern has a route-label entry in
+// the metrics route set. Always false with metrics disabled.
+func (s *Server) HasRouteMetric(pattern string) bool {
+	if s.metrics == nil {
+		return false
+	}
+	return s.metrics.routes.Has(pattern)
 }
 
 // ServeHTTP implements http.Handler: panic recovery and the body-size
@@ -378,15 +421,12 @@ func (s *Server) handleCreateCommunity(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &p) {
 		return
 	}
-	c := &csj.Community{Name: p.Name, Category: p.Category, Users: p.Users}
-	if c.Category == 0 {
-		// An absent category field decodes as 0; store "unknown".
-		c.Category = -1
-	}
-	// Validate rejects empty communities, ragged dimensionalities, and
-	// negative counters, each with a message naming the offending user.
-	if err := c.Validate(); err != nil {
-		s.writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("invalid community: %w", err))
+	// Validate (inside communityFromPayload) rejects empty communities,
+	// ragged dimensionalities, and negative counters, each with a
+	// message naming the offending user.
+	c, err := communityFromPayload(&p)
+	if err != nil {
+		s.writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	// The store deep-copies on ingest, so the decoder's slices (and any

@@ -28,6 +28,9 @@ import (
 // ErrUnknownCommunity reports a community id absent from a snapshot.
 var ErrUnknownCommunity = errors.New("store: unknown community")
 
+// ErrDuplicateID reports a CreateWithID collision with a live entry.
+var ErrDuplicateID = errors.New("store: duplicate community id")
+
 // Persistence is the optional durability hook under the store,
 // implemented by internal/durable.Log. The store appends every
 // mutation *before* applying it — an append error means the mutation
@@ -185,6 +188,44 @@ func (s *Store) Create(c *csj.Community) (*Entry, error) {
 		}
 	}
 	s.nextID, s.version = id, version
+	e := &Entry{ID: id, Version: version, Comm: clone, Summary: sum}
+	s.cache.setLive(e.ID, e.Version)
+	s.publishLocked(func(m map[int64]*Entry) { m[e.ID] = e })
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return e, nil
+}
+
+// CreateWithID ingests a community under a caller-chosen id — the
+// cluster coordinator's write path (DESIGN.md §13), where ids are
+// assigned centrally so they stay unique across shards. Same
+// durability contract as Create: with persistence attached, the
+// mutation is appended before it is applied. The id must be positive
+// and not currently stored; nextID ratchets to at least id so a later
+// locally assigned id can never collide with a coordinator-assigned
+// one.
+func (s *Store) CreateWithID(id int64, c *csj.Community) (*Entry, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("store: community id must be positive, got %d", id)
+	}
+	clone := c.Clone()
+	sum := s.summarize(clone)
+	s.mu.Lock()
+	if _, ok := s.snap.Load().entries[id]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: community %d", ErrDuplicateID, id)
+	}
+	version := s.version + 1
+	if s.p != nil {
+		if err := s.p.AppendPut(id, version, clone); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("store: persisting community: %w", err)
+		}
+	}
+	if id > s.nextID {
+		s.nextID = id
+	}
+	s.version = version
 	e := &Entry{ID: id, Version: version, Comm: clone, Summary: sum}
 	s.cache.setLive(e.ID, e.Version)
 	s.publishLocked(func(m map[int64]*Entry) { m[e.ID] = e })

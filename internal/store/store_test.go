@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -139,5 +140,59 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 	if _, ok := st.Snapshot().Get(e.ID); ok {
 		t.Error("post-delete snapshot still has the entry")
+	}
+}
+
+func TestCreateWithID(t *testing.T) {
+	st := New(Config{})
+	rng := rand.New(rand.NewSource(7))
+
+	e, err := st.CreateWithID(42, testCommunity("explicit", rng, 10, 4))
+	if err != nil {
+		t.Fatalf("CreateWithID: %v", err)
+	}
+	if e.ID != 42 {
+		t.Fatalf("ID = %d, want 42", e.ID)
+	}
+	if got, ok := st.Snapshot().Get(42); !ok || got.Comm.Name != "explicit" {
+		t.Fatalf("Get(42) = %v, %v", got, ok)
+	}
+
+	// Duplicate ids are rejected with ErrDuplicateID.
+	if _, err := st.CreateWithID(42, testCommunity("dup", rng, 8, 4)); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate id error = %v, want ErrDuplicateID", err)
+	}
+	// Non-positive ids are rejected.
+	for _, id := range []int64{0, -1} {
+		if _, err := st.CreateWithID(id, testCommunity("bad", rng, 8, 4)); err == nil {
+			t.Errorf("CreateWithID(%d) accepted a non-positive id", id)
+		}
+	}
+
+	// nextID ratchets past explicit ids, so a later locally assigned id
+	// can never collide with a coordinator-assigned one.
+	e2 := mustCreate(t, st, testCommunity("auto", rng, 9, 4))
+	if e2.ID <= 42 {
+		t.Errorf("auto id %d did not ratchet past explicit id 42", e2.ID)
+	}
+	// An explicit id below nextID fills the gap without regressing it.
+	if _, err := st.CreateWithID(7, testCommunity("gap", rng, 9, 4)); err != nil {
+		t.Fatalf("gap CreateWithID: %v", err)
+	}
+	e3 := mustCreate(t, st, testCommunity("auto2", rng, 9, 4))
+	if e3.ID <= e2.ID {
+		t.Errorf("auto id %d regressed after gap-fill (prev %d)", e3.ID, e2.ID)
+	}
+	// A deleted explicit id stays usable for gap-free re-ingest paths
+	// (replica rebuilds): versions still advance monotonically.
+	if !mustDelete(t, st, 7) {
+		t.Fatal("Delete(7) = false")
+	}
+	e4, err := st.CreateWithID(7, testCommunity("gap2", rng, 9, 4))
+	if err != nil {
+		t.Fatalf("re-create after delete: %v", err)
+	}
+	if e4.Version <= e3.Version {
+		t.Errorf("version %d did not advance past %d", e4.Version, e3.Version)
 	}
 }
