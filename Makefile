@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench faults metricsguard storeguard indexguard fuzzsmoke crashguard clusterguard routecheck
+.PHONY: check vet build test race bench faults metricsguard storeguard indexguard kernelguard fuzzsmoke crashguard clusterguard routecheck
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -55,6 +55,16 @@ storeguard:
 indexguard:
 	$(GO) test -count=1 -v -run '^TestDimFlowIsExactMaxFlow$$|^TestUpperBoundDominatesExactJoin$$|^TestUpperBoundZeroAllocs$$' ./internal/index
 	$(GO) test -count=1 -v -run '^TestIndexedTopKExactness$$|^TestRankAboveExactness$$|^TestRankPreparedIndexZeroPrune$$' .
+
+# kernelguard is the SoA scan-kernel gate (DESIGN.md §14): the flat
+# kernel must be byte-identical to the scalar reference over seeded
+# random corpora (duplicates, full-int32 extremes, block-boundary
+# dimensions), the prepared SoA Ap join must stay 0 allocs/op, and the
+# workers<=1 pool path must run tasks inline on the caller's goroutine.
+# The alloc check is !race-gated, same reason as metricsguard.
+kernelguard:
+	$(GO) test -count=1 -v -run '^TestSoAKernelMatchesReference$$|^TestSoAKernelDuplicateScores$$|^TestSoAKernelExtremeValues$$|^TestEpsWithinKernelEdges$$|^TestKernelGuardSoAZeroAlloc$$' ./internal/core
+	$(GO) test -count=1 -v -run '^TestRunPoolSerialInline$$' .
 
 # fuzzsmoke gives each ingest fuzz target a short native-fuzzing burst
 # (seeded with the crafted-header corpus of the hardening pass), so CI

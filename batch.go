@@ -19,13 +19,24 @@ import (
 // total concurrency is bounded by the worker count and every cell is
 // byte-for-byte the serial join's answer.
 
-// batchWorkers resolves the worker count of the batch engines:
-// opts.Workers when positive, else GOMAXPROCS.
+// batchWorkers resolves the effective worker count of the batch
+// engines: opts.Workers when positive, else GOMAXPROCS — clamped to
+// GOMAXPROCS either way. Pool tasks are pure CPU-bound joins, so
+// goroutines beyond the scheduler's parallelism only add dispatch
+// overhead: on a GOMAXPROCS=1 box a requested Workers=4 used to
+// measure as a 0.80x "speedup" purely from goroutine+channel dispatch
+// (BENCH_store.json, PR 1); clamping makes such runs take runPool's
+// inline serial path instead. Results are identical for every worker
+// count by construction, so the clamp is invisible except in time.
 func batchWorkers(o *Options) int {
-	if o.Workers > 0 {
-		return o.Workers
+	w := o.Workers
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if g := runtime.GOMAXPROCS(0); w > g {
+		w = g
+	}
+	return w
 }
 
 // runPool fans n independent tasks across at most workers goroutines.

@@ -3,6 +3,7 @@ package csj
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -122,11 +123,95 @@ func TestRunPoolTaskErrorWinsOverLateCancel(t *testing.T) {
 	}
 }
 
-func TestBatchWorkersDefault(t *testing.T) {
-	if got := batchWorkers(&Options{}); got < 1 {
-		t.Errorf("batchWorkers(0) = %d, want >= 1", got)
+// TestRunPoolSerialInline pins the workers<=1 fast path: tasks run
+// inline on the caller's goroutine, in ascending order, all as worker
+// 0 — no goroutine, channel, or WaitGroup dispatch. (That dispatch is
+// what turned PR 1's Workers=4 batch runs on a GOMAXPROCS=1 box into
+// 0.80x "speedups".)
+func TestRunPoolSerialInline(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1} {
+		var order []int
+		err := runPool(context.Background(), workers, 50, func(w, i int) error {
+			if w != 0 {
+				t.Fatalf("workers=%d: task %d ran as worker %d, want 0", workers, i, w)
+			}
+			order = append(order, i)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("workers=%d: task order %v, want ascending", workers, order)
+			}
+		}
+		if len(order) != 50 {
+			t.Fatalf("workers=%d: ran %d tasks, want 50", workers, len(order))
+		}
 	}
-	if got := batchWorkers(&Options{Workers: 3}); got != 3 {
-		t.Errorf("batchWorkers(3) = %d", got)
+	// n==1 collapses to the serial path regardless of requested workers.
+	var asWorker = -1
+	if err := runPool(context.Background(), 8, 1, func(w, _ int) error {
+		asWorker = w
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if asWorker != 0 {
+		t.Errorf("n=1: ran as worker %d, want 0 (inline)", asWorker)
+	}
+}
+
+// BenchmarkRunPoolSerialOverhead measures the workers==1 pool path
+// against a bare loop over the same task. The two must be within
+// noise of each other — the pool adds one ctx.Err() poll per task and
+// nothing else. csjbench -scan records the measured ratio in
+// BENCH_scan.json.
+func BenchmarkRunPoolSerialOverhead(b *testing.B) {
+	const n = 256
+	task := func(_, i int) error {
+		sink += i
+		return nil
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				if err := task(0, j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("pool-1", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if err := runPool(ctx, 1, n, task); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// sink defeats dead-code elimination in BenchmarkRunPoolSerialOverhead.
+var sink int
+
+func TestBatchWorkersDefault(t *testing.T) {
+	g := runtime.GOMAXPROCS(0)
+	if got := batchWorkers(&Options{}); got != g {
+		t.Errorf("batchWorkers(0) = %d, want GOMAXPROCS (%d)", got, g)
+	}
+	// An explicit request is honored up to the scheduler's parallelism:
+	// CPU-bound pools never win from more goroutines than GOMAXPROCS,
+	// only pay dispatch for them (the PR 1 0.80x "speedup").
+	want := 3
+	if g < want {
+		want = g
+	}
+	if got := batchWorkers(&Options{Workers: 3}); got != want {
+		t.Errorf("batchWorkers(3) = %d, want min(3, GOMAXPROCS) = %d", got, want)
+	}
+	if got := batchWorkers(&Options{Workers: 1}); got != 1 {
+		t.Errorf("batchWorkers(1) = %d, want 1", got)
 	}
 }

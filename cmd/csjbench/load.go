@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/opencsj/csj/internal/dataset"
+	"github.com/opencsj/csj/internal/server"
+)
+
+// loadConfig parameterizes the -load mode: an open-loop load generator
+// against a live csjserve instance.
+type loadConfig struct {
+	URL         string
+	Rate        float64 // mean arrivals per second
+	Duration    time.Duration
+	Method      string // join method of the /similarity requests
+	Communities int
+	Size        int
+	Seed        int64
+	PprofOut    string // capture a server CPU profile during the run
+}
+
+// loadReport is the JSON emitted by -load. Latency percentiles are
+// measured under open-loop Poisson arrivals: requests launch on an
+// exponential inter-arrival clock regardless of completions, so server
+// queueing shows up as latency instead of being hidden by back-pressure
+// (the closed-loop coordinated-omission artifact).
+type loadReport struct {
+	URL        string  `json:"url"`
+	Method     string  `json:"method"`
+	TargetRPS  float64 `json:"target_rps"`
+	DurationMS int64   `json:"duration_ms"`
+
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+
+	PprofFile string `json:"pprof_file,omitempty"`
+}
+
+// seedLoadCommunities uploads the synthesized corpus and returns the
+// stored IDs the request loop joins over.
+func seedLoadCommunities(client *http.Client, cfg loadConfig) ([]int64, error) {
+	comms := batchCommunities(batchConfig{
+		Communities: cfg.Communities, Size: cfg.Size, Seed: cfg.Seed,
+	})
+	ids := make([]int64, 0, len(comms))
+	for _, c := range comms {
+		payload := server.CommunityPayload{Name: c.Name, Category: c.Category}
+		for _, u := range c.Users {
+			payload.Users = append(payload.Users, u)
+		}
+		body, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Post(cfg.URL+"/communities", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("seeding %s: %w", c.Name, err)
+		}
+		var info server.CommunityInfo
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("seeding %s: status %d, decode err %v", c.Name, resp.StatusCode, err)
+		}
+		ids = append(ids, info.ID)
+	}
+	return ids, nil
+}
+
+// capturePprof fetches a CPU profile from the server's /debug/pprof
+// endpoint for the given wall time and writes it to path. It needs
+// csjserve started with -pprof; a failure is reported but must not
+// fail the load run.
+func capturePprof(url, path string, seconds int) error {
+	client := &http.Client{Timeout: time.Duration(seconds+30) * time.Second}
+	resp, err := client.Get(fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", url, seconds))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pprof endpoint returned %d (is csjserve running with -pprof?)", resp.StatusCode)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(f, resp.Body)
+	return err
+}
+
+func runLoad(cfg loadConfig) (*loadReport, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("-rate must be positive, got %g", cfg.Rate)
+	}
+	if cfg.Communities < 2 {
+		return nil, fmt.Errorf("-load needs at least 2 communities, got %d", cfg.Communities)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	ids, err := seedLoadCommunities(client, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &loadReport{
+		URL:        cfg.URL,
+		Method:     cfg.Method,
+		TargetRPS:  cfg.Rate,
+		DurationMS: cfg.Duration.Milliseconds(),
+	}
+
+	var pprofDone chan error
+	if cfg.PprofOut != "" {
+		secs := int(cfg.Duration.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		pprofDone = make(chan error, 1)
+		go func() { pprofDone <- capturePprof(cfg.URL, cfg.PprofOut, secs) }()
+	}
+
+	// Open loop: arrivals fire on an exponential clock, each in its own
+	// goroutine, regardless of how many requests are still in flight.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var (
+		mu        sync.Mutex
+		latencies []float64 // milliseconds
+		errs      int
+		wg        sync.WaitGroup
+	)
+	fire := func(b, a int64) {
+		defer wg.Done()
+		reqBody, err := json.Marshal(server.SimilarityRequest{
+			B: b, A: a, Method: cfg.Method, Orient: true,
+			Options: server.OptionsPayload{Epsilon: dataset.EpsilonVK},
+		})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		resp, err := client.Post(cfg.URL+"/similarity", "application/json", bytes.NewReader(reqBody))
+		elapsed := time.Since(start)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		mu.Lock()
+		if ok {
+			latencies = append(latencies, float64(elapsed.Nanoseconds())/1e6)
+		} else {
+			errs++
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	requests := 0
+	for {
+		// Exponential inter-arrival time with mean 1/rate.
+		wait := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		next := time.Now().Add(wait)
+		if next.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(next))
+		bi := rng.Intn(len(ids))
+		ai := rng.Intn(len(ids) - 1)
+		if ai >= bi {
+			ai++
+		}
+		requests++
+		wg.Add(1)
+		go fire(ids[bi], ids[ai])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep.Requests = requests
+	rep.Errors = errs
+	if wall > 0 {
+		rep.AchievedRPS = float64(requests) / wall.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		rep.MeanMs = sum / float64(len(latencies))
+		rep.P50Ms = percentile(latencies, 0.50)
+		rep.P95Ms = percentile(latencies, 0.95)
+		rep.P99Ms = percentile(latencies, 0.99)
+		rep.MaxMs = latencies[len(latencies)-1]
+	}
+	if pprofDone != nil {
+		if err := <-pprofDone; err != nil {
+			fmt.Fprintln(os.Stderr, "csjbench: pprof capture failed:", err)
+		} else {
+			rep.PprofFile = cfg.PprofOut
+		}
+	}
+	return rep, nil
+}
+
+// percentile interpolates the p-quantile of sorted (ascending) samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/dataset"
+)
+
+// scanConfig parameterizes the -scan benchmark mode.
+type scanConfig struct {
+	Communities int
+	Size        int
+	Seed        int64
+}
+
+// scanReport is the JSON emitted by -scan: the flat SoA scan kernel
+// against the scalar reference path (Options.ReferenceScan) on the
+// same corpus and box, the prepared hot path's allocation profile, and
+// the workers==1 pool path against a direct serial loop. With -load it
+// also carries the open-loop latency section.
+type scanReport struct {
+	Communities   int `json:"communities"`
+	CommunitySize int `json:"community_size"`
+	GOMAXPROCS    int `json:"gomaxprocs"`
+
+	// Prepared joins, reused scratch: the serving hot path.
+	ApPreparedSoANsOp int64   `json:"ap_prepared_soa_ns_op"`
+	ApPreparedRefNsOp int64   `json:"ap_prepared_ref_ns_op"`
+	ApPreparedSpeedup float64 `json:"ap_prepared_speedup"`
+	ExPreparedSoANsOp int64   `json:"ex_prepared_soa_ns_op"`
+	ExPreparedRefNsOp int64   `json:"ex_prepared_ref_ns_op"`
+	ExPreparedSpeedup float64 `json:"ex_prepared_speedup"`
+
+	// One-shot Similarity (encode + scan per call).
+	OneShotApSoANsOp int64   `json:"oneshot_ap_soa_ns_op"`
+	OneShotApRefNsOp int64   `json:"oneshot_ap_ref_ns_op"`
+	OneShotApSpeedup float64 `json:"oneshot_ap_speedup"`
+
+	// Steady-state allocations of the prepared SoA Ap join (the
+	// kernelguard invariant: must be 0).
+	ApPreparedSoAAllocsOp float64 `json:"ap_prepared_soa_allocs_op"`
+
+	// The workers==1 pool path versus a direct loop over the same
+	// prepared matrix cells. PoolOverhead is pool/direct: ~1.0 means the
+	// inline serial path costs nothing over calling the joins directly.
+	DirectMatrixNsOp int64   `json:"direct_matrix_ns_op"`
+	Pool1MatrixNsOp  int64   `json:"pool1_matrix_ns_op"`
+	PoolOverhead     float64 `json:"pool1_overhead"`
+
+	Load *loadReport `json:"load,omitempty"`
+}
+
+func runScan(w io.Writer, cfg scanConfig, load *loadConfig) error {
+	if cfg.Communities < 2 {
+		return fmt.Errorf("-scan needs at least 2 communities, got %d", cfg.Communities)
+	}
+	comms := batchCommunities(batchConfig{
+		Communities: cfg.Communities, Size: cfg.Size, Seed: cfg.Seed,
+	})
+	const eps = dataset.EpsilonVK
+
+	rep := scanReport{
+		Communities:   cfg.Communities,
+		CommunitySize: cfg.Size,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+
+	ib, ia := comms[0], comms[1]
+	if ib.Size() > ia.Size() {
+		ib, ia = ia, ib
+	}
+	soaOpts := core.Options{Eps: eps}
+	refOpts := core.Options{Eps: eps, ReferenceScan: true}
+	pb, err := core.Prepare(toInternal(ib), soaOpts)
+	if err != nil {
+		return err
+	}
+	pa, err := core.Prepare(toInternal(ia), soaOpts)
+	if err != nil {
+		return err
+	}
+	scratch := core.NewScratch()
+	var res core.Result
+
+	preparedBench := func(run func(b, a *core.Prepared, o core.Options, s *core.Scratch, r *core.Result) error, o core.Options) int64 {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := run(pb, pa, o, scratch, &res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}).NsPerOp()
+	}
+	rep.ApPreparedSoANsOp = preparedBench(core.ApMinMaxPreparedInto, soaOpts)
+	rep.ApPreparedRefNsOp = preparedBench(core.ApMinMaxPreparedInto, refOpts)
+	rep.ExPreparedSoANsOp = preparedBench(core.ExMinMaxPreparedInto, soaOpts)
+	rep.ExPreparedRefNsOp = preparedBench(core.ExMinMaxPreparedInto, refOpts)
+	if rep.ApPreparedSoANsOp > 0 {
+		rep.ApPreparedSpeedup = float64(rep.ApPreparedRefNsOp) / float64(rep.ApPreparedSoANsOp)
+	}
+	if rep.ExPreparedSoANsOp > 0 {
+		rep.ExPreparedSpeedup = float64(rep.ExPreparedRefNsOp) / float64(rep.ExPreparedSoANsOp)
+	}
+
+	oneShot := func(reference bool) int64 {
+		opts := &csj.Options{Epsilon: eps, ReferenceScan: reference}
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := csj.Similarity(ib, ia, csj.ApMinMax, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}).NsPerOp()
+	}
+	rep.OneShotApSoANsOp = oneShot(false)
+	rep.OneShotApRefNsOp = oneShot(true)
+	if rep.OneShotApSoANsOp > 0 {
+		rep.OneShotApSpeedup = float64(rep.OneShotApRefNsOp) / float64(rep.OneShotApSoANsOp)
+	}
+
+	rep.ApPreparedSoAAllocsOp = testing.AllocsPerRun(100, func() {
+		if err := core.ApMinMaxPreparedInto(pb, pa, soaOpts, scratch, &res); err != nil {
+			panic(err)
+		}
+	})
+
+	// Pool overhead: the full prepared matrix driven by the batch
+	// engine at Workers=1 (runPool's inline serial path) versus a
+	// direct loop over the same cells with the same scratch reuse.
+	views := make([]*csj.PreparedCommunity, len(comms))
+	popts := &csj.Options{Epsilon: eps}
+	for i, c := range comms {
+		v, err := csj.Precompute(c, popts)
+		if err != nil {
+			return err
+		}
+		views[i] = v
+	}
+	serialOpts := &csj.Options{Epsilon: eps, Workers: 1}
+	rep.Pool1MatrixNsOp = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := csj.SimilarityMatrixPrepared(views, csj.ExMinMax, serialOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).NsPerOp()
+	sc := csj.NewScratch()
+	var out csj.Result
+	rep.DirectMatrixNsOp = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for x := 0; x < len(views); x++ {
+				for y := x + 1; y < len(views); y++ {
+					vb, va := views[x], views[y]
+					if vb.Size() > va.Size() {
+						vb, va = va, vb
+					}
+					if err := csj.SimilarityPreparedInto(vb, va, csj.ExMinMax, serialOpts, sc, &out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}).NsPerOp()
+	if rep.DirectMatrixNsOp > 0 {
+		rep.PoolOverhead = float64(rep.Pool1MatrixNsOp) / float64(rep.DirectMatrixNsOp)
+	}
+
+	if load != nil {
+		lr, err := runLoad(*load)
+		if err != nil {
+			return err
+		}
+		rep.Load = lr
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

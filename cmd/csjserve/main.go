@@ -35,8 +35,11 @@
 //
 // Observability (see DESIGN.md §9):
 //
-//	-metrics  serve Prometheus text metrics at GET /metrics (default on)
-//	-pprof    mount net/http/pprof under /debug/pprof/ (default off)
+//	-metrics      serve Prometheus text metrics at GET /metrics (default on)
+//	-pprof        mount net/http/pprof under /debug/pprof/ (default off)
+//	-scan-kernel  soa (default) or reference: forces the scalar reference
+//	              scan path server-wide (identical results; isolates the
+//	              SoA kernel's contribution in live latency metrics)
 //
 // Durability (see DESIGN.md §11):
 //
@@ -187,8 +190,17 @@ func main() {
 			"run as a WAL-shipped read replica of the csjserve at this URL (requires -store-dir; see DESIGN.md §13)")
 		followInterval = flag.Duration("follow-interval", 250*time.Millisecond,
 			"leader poll cadence while following")
+		scanKernel = flag.String("scan-kernel", "soa",
+			"MinMax scan path: soa (flat kernel, default) or reference (scalar path; identical results, for ablation and fallback)")
 	)
 	flag.Parse()
+
+	switch *scanKernel {
+	case "soa", "reference":
+	default:
+		fmt.Fprintf(os.Stderr, "csjserve: -scan-kernel must be soa or reference, got %q\n", *scanKernel)
+		os.Exit(2)
+	}
 
 	if err := validateFlags(serveFlags{
 		RequestTimeout:  *reqTimeout,
@@ -215,6 +227,7 @@ func main() {
 		DisableMetrics:     !*metricsOn,
 		EnablePprof:        *pprofOn,
 		IndexBuckets:       *indexBuckets,
+		ForceReferenceScan: *scanKernel == "reference",
 	}
 	openLog := func() (*durable.Log, error) {
 		policy, err := durable.ParseFsyncPolicy(*fsyncMode)

@@ -149,6 +149,12 @@ type Options struct {
 	// DisableSkipOffset turns off the skip/offset fast-forwarding in
 	// the Baseline and MinMax scans (ablation; results are unchanged).
 	DisableSkipOffset bool
+	// ReferenceScan switches the MinMax scans from the flat SoA
+	// compare kernel to the scalar array-of-vectors reference path
+	// (ablation and benchmarking only; results are identical — the
+	// kernelguard CI gate pins the equivalence). Other methods ignore
+	// it.
+	ReferenceScan bool
 	// AllowSizeImbalance skips the ceil(|A|/2) <= |B| <= |A|
 	// precondition check. The similarity semantics of the paper only
 	// hold when the check passes.
@@ -346,6 +352,7 @@ func dispatch(ctx context.Context, b, a *vector.Community, method Method, o *Opt
 			Parts:             o.Parts,
 			Matcher:           o.Matcher.matcher(),
 			DisableSkipOffset: o.DisableSkipOffset,
+			ReferenceScan:     o.ReferenceScan,
 			Done:              ctx.Done(),
 		}
 		if method == ApMinMax {

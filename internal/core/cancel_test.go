@@ -108,6 +108,70 @@ func TestCancelOpenDoneChangesNothing(t *testing.T) {
 	}
 }
 
+// cancelAfterComparer closes done at its closeAt-th comparison and
+// counts every comparison the scan performs after that — the observable
+// cancellation latency in units of work.
+type cancelAfterComparer struct {
+	done    chan struct{}
+	closeAt int
+	calls   int
+	after   int
+}
+
+func (c *cancelAfterComparer) Compare(bPos, aPos int) Outcome {
+	c.calls++
+	if c.calls == c.closeAt {
+		close(c.done)
+	} else if c.calls > c.closeAt {
+		c.after++
+	}
+	return OutcomeNoMatch
+}
+
+// TestCancelLatencyBoundedByStride pins the poll cadence in units of
+// work: after Done closes mid-scan, the scan may perform at most one
+// checkpoint stride of further comparisons before returning
+// ErrCanceled. The input shape is the one the old per-row polling got
+// wrong — few B rows (like 8-dimension communities with thousands of
+// tiny vectors on the A side), each scanning thousands of wide A
+// windows, so almost all scan steps are inner iterations. Counting
+// only outer rows, the old code's worst case here was the whole
+// remaining scan (~24k comparisons below) between polls; the carried
+// budget bounds it at cancelCheckEvery regardless of row shape.
+func TestCancelLatencyBoundedByStride(t *testing.T) {
+	const (
+		nB      = 8
+		nA      = 4000
+		closeAt = 1000
+	)
+	bid := make([]int64, nB)
+	amin := make([]int64, nA)
+	amax := make([]int64, nA)
+	for i := range bid {
+		bid[i] = 5
+	}
+	for i := range amax {
+		amax[i] = 10 // every window [0,10] admits every B id
+	}
+	for name, run := range map[string]func(in *Input) error{
+		"Ap": func(in *Input) error { _, err := ScanAp(in, &Events{}, nil); return err },
+		"Ex": func(in *Input) error { _, err := ScanEx(in, nil, &Events{}, nil); return err },
+	} {
+		cmp := &cancelAfterComparer{done: make(chan struct{}), closeAt: closeAt}
+		in := &Input{BID: bid, AMin: amin, AMax: amax, Cmp: cmp, Done: cmp.done}
+		if err := run(in); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%s: err = %v, want ErrCanceled", name, err)
+		}
+		if cmp.after > cancelCheckEvery {
+			t.Errorf("%s: %d comparisons after Done closed, want <= %d (one stride)",
+				name, cmp.after, cancelCheckEvery)
+		}
+		if cmp.calls >= nB*nA {
+			t.Errorf("%s: scan ran to completion (%d comparisons) despite mid-scan cancel", name, cmp.calls)
+		}
+	}
+}
+
 // TestCancelCheckpointsAreAllocationFree guards the tentpole's perf
 // promise: threading a live Done channel through the prepared fast
 // path must keep the Ap join at zero allocations per run.

@@ -23,6 +23,10 @@ type Options struct {
 	// DisableSkipOffset turns off the skip/offset fast-forwarding
 	// (ablation only; results are identical).
 	DisableSkipOffset bool
+	// ReferenceScan selects the scalar array-of-vectors compare path
+	// instead of the flat SoA kernel (ablation and benchmarking only;
+	// results are identical — the kernelguard gate pins it).
+	ReferenceScan bool
 	// Done, when non-nil, requests cooperative cancellation: the scan
 	// loops poll it periodically and return ErrCanceled once it closes
 	// (typically ctx.Done() threaded down from the public API).
@@ -87,9 +91,13 @@ func validate(b, a *vector.Community, opts *Options) error {
 	return ValidateInputs(b, a, opts.Eps)
 }
 
-// encComparer is the production Comparer: the paper's lines 11-12 —
-// check complete part/range overlap, then compare the d-dimensional
-// vectors under the per-dimension epsilon condition.
+// encComparer is the scalar reference Comparer: the paper's lines 11-12
+// — check complete part/range overlap, then compare the d-dimensional
+// vectors under the per-dimension epsilon condition — read through the
+// array-of-vectors layout. The production scans use soaComparer (same
+// classification over flat streams, pinned identical by the property
+// suite and `make kernelguard`); this form remains the executable
+// specification and the Options.ReferenceScan ablation path.
 type encComparer struct {
 	bb  *encoding.BBuffer
 	ab  *encoding.ABuffer
@@ -132,7 +140,19 @@ func encode(b, a *vector.Community, opts *Options) (*Input, *encoding.BBuffer, *
 		in.AMin[i] = ab.Entries[i].Min
 		in.AMax[i] = ab.Entries[i].Max
 	}
-	in.Cmp = &encComparer{bb: bb, ab: ab, ub: b.Users, ua: a.Users, eps: opts.Eps}
+	if opts.ReferenceScan {
+		in.Cmp = &encComparer{bb: bb, ab: ab, ub: b.Users, ua: a.Users, eps: opts.Eps}
+		return in, bb, ab, nil
+	}
+	// Build the one-shot SoA streams: O((|B|+|A|)·d) sequential work,
+	// paid once before a scan that reads the streams O(|B|·|A|) times.
+	sb := soaStreams{d: layout.Dim(), parts: layout.Parts()}
+	sb.buildB(b.Users, bb)
+	sa := soaStreams{d: layout.Dim(), parts: layout.Parts()}
+	sa.buildA(a.Users, ab, opts.Eps)
+	cmp := &soaComparer{}
+	cmp.bindStreams(&sb, &sa)
+	in.Cmp = cmp
 	return in, bb, ab, nil
 }
 

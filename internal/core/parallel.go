@@ -1,18 +1,29 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/opencsj/csj/internal/matching"
 	"github.com/opencsj/csj/internal/vector"
 )
 
+// scanTileRows is the B-row granularity of the parallel scan's
+// cache-blocked tiling: workers claim fixed-size tiles of the sorted B
+// buffer from a shared counter instead of one static chunk each. Tiles
+// bound skew (a worker stuck on a dense region gives up only one tile,
+// not a fixed 1/workers share — the skew-aware distribution problem of
+// LSF-Join), and a tile's A-window strip is small enough to stay
+// cache-resident across its rows under the flat SoA streams.
+const scanTileRows = 256
+
 // ExMinMaxParallel is the multi-worker variant of Ex-MinMax. The sorted
-// Encd_B buffer is partitioned into contiguous chunks, each worker
-// window-scans its chunk against Encd_A collecting matches into a
-// private graph, the graphs merge, and a single matcher call resolves
-// the one-to-one pairs.
+// Encd_B buffer is processed in scanTileRows-row tiles claimed from a
+// shared counter, each worker window-scans its tiles against Encd_A
+// collecting matches into a private graph, the graphs merge, and a
+// single matcher call resolves the one-to-one pairs.
 //
 // The result is a maximum matching of exactly the same candidate graph
 // the serial algorithm sees, so with the Hopcroft–Karp matcher the pair
@@ -20,6 +31,13 @@ import (
 // heuristic's tie-breaking (both are valid exact answers). The paper
 // evaluates single-threaded runs; this entry point exists because the
 // scan phase is embarrassingly parallel over B.
+//
+// The goroutine count is clamped to GOMAXPROCS: the scan is pure CPU
+// work, so extra goroutines only add dispatch overhead. When the
+// effective worker count is 1 (single-core box, or fewer tiles than
+// workers) the same collect-then-match algorithm runs inline on the
+// calling goroutine — identical output, none of the goroutine+merge
+// machinery.
 func ExMinMaxParallel(b, a *vector.Community, opts Options, workers int) (*Result, error) {
 	if workers <= 1 {
 		return ExMinMax(b, a, opts)
@@ -31,64 +49,85 @@ func ExMinMaxParallel(b, a *vector.Community, opts Options, workers int) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	if workers > len(in.BID) {
-		workers = len(in.BID)
+	if g := runtime.GOMAXPROCS(0); workers > g {
+		workers = g
 	}
-
-	type shard struct {
-		graph  *matching.Graph
-		events Events
-	}
-	shards := make([]shard, workers)
-	var wg sync.WaitGroup
-	chunk := (len(in.BID) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(in.BID) {
-			hi = len(in.BID)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			shards[w].graph = matching.NewGraph()
-			scanWindowCollect(in, lo, hi, shards[w].graph, &shards[w].events)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	// Every shard bailed at its next checkpoint; report the cancellation
-	// instead of matching a partial graph.
-	if canceled(in.Done) {
-		return nil, ErrCanceled
+	tiles := (len(in.BID) + scanTileRows - 1) / scanTileRows
+	if workers > tiles {
+		workers = tiles
 	}
 
 	res := &Result{}
-	// Merge the shard graphs in (bPos, aPos) edge order rather than
-	// shard-interleaved order, so the matcher sees one canonical graph:
-	// CSF's tie-breaking then yields the same pairs on every run for a
-	// fixed worker count (Hopcroft–Karp is order-independent anyway).
 	var edges [][2]int32
-	for w := range shards {
-		if shards[w].graph == nil {
-			continue
+	if workers <= 1 {
+		g := matching.NewGraph()
+		scanWindowCollect(in, 0, len(in.BID), 0, g, &res.Events)
+		if canceled(in.Done) {
+			return nil, ErrCanceled
 		}
-		res.Events.Add(shards[w].events)
-		edges = shards[w].graph.AppendEdges(edges)
+		edges = g.AppendEdges(edges)
+	} else {
+		type shard struct {
+			graph  *matching.Graph
+			events Events
+		}
+		shards := make([]shard, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				shards[w].graph = matching.NewGraph()
+				// offset carries across this worker's tiles: tiles are
+				// claimed in ascending order, and an A entry the
+				// skip/offset logic consumed is dead for every later
+				// (larger) encoded B ID.
+				offset := 0
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= tiles || canceled(in.Done) {
+						return
+					}
+					lo := t * scanTileRows
+					hi := min(lo+scanTileRows, len(in.BID))
+					offset = scanWindowCollect(in, lo, hi, offset, shards[w].graph, &shards[w].events)
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Every worker bailed at its next checkpoint; report the
+		// cancellation instead of matching a partial graph.
+		if canceled(in.Done) {
+			return nil, ErrCanceled
+		}
+		// Merge the shard graphs in (bPos, aPos) edge order rather than
+		// shard-interleaved order, so the matcher sees one canonical
+		// graph: CSF's tie-breaking then yields the same pairs for every
+		// worker count (Hopcroft–Karp is order-independent anyway).
+		for w := range shards {
+			if shards[w].graph == nil {
+				continue
+			}
+			res.Events.Add(shards[w].events)
+			edges = shards[w].graph.AppendEdges(edges)
+		}
 	}
+	// AppendEdges walks adjacency maps, so canonicalize the edge order
+	// regardless of how many workers collected: the matcher then sees
+	// one deterministic graph for every worker count and every run.
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i][0] != edges[j][0] {
 			return edges[i][0] < edges[j][0]
 		}
 		return edges[i][1] < edges[j][1]
 	})
-	merged := matching.NewGraph()
-	for _, e := range edges {
-		merged.AddEdge(e[0], e[1])
-	}
-	if merged.Edges() > 0 {
+
+	if len(edges) > 0 {
+		merged := matching.NewGraph()
+		for _, e := range edges {
+			merged.AddEdge(e[0], e[1])
+		}
 		res.Events.CSFCalls++
 		pairs := opts.matcher()(merged)
 		positions := make([][2]int, len(pairs))
@@ -102,20 +141,31 @@ func ExMinMaxParallel(b, a *vector.Community, opts Options, workers int) (*Resul
 
 // scanWindowCollect runs the Ex-MinMax window scan for B positions
 // [lo, hi) against the full A buffer, collecting every match into g.
-// It applies MIN PRUNE and the per-chunk skip/offset fast-forwarding
-// but no segment flushing (the caller matches globally). Like the
-// serial scans it polls in.Done at checkpoint strides; the caller
-// detects the cancellation after joining the shards.
-func scanWindowCollect(in *Input, lo, hi int, g *matching.Graph, ev *Events) {
-	offset := 0
+// It applies MIN PRUNE and the skip/offset fast-forwarding starting
+// from the caller's offset, and returns the advanced offset for the
+// caller's next (higher) tile; no segment flushing happens here (the
+// caller matches globally). Like the serial scans it polls in.Done on a
+// step budget carried across rows; the caller detects the cancellation
+// after joining the workers.
+func scanWindowCollect(in *Input, lo, hi, offset int, g *matching.Graph, ev *Events) int {
+	budget := cancelCheckEvery
 	for bi := lo; bi < hi; bi++ {
-		if (bi-lo)&(cancelCheckEvery-1) == 0 && canceled(in.Done) {
-			return
+		if budget--; budget <= 0 {
+			if canceled(in.Done) {
+				return offset
+			}
+			budget = cancelCheckEvery
 		}
 		skip := true
 		id := in.BID[bi]
 	scanA:
 		for ai := offset; ai < len(in.AMin); ai++ {
+			if budget--; budget <= 0 {
+				if canceled(in.Done) {
+					return offset
+				}
+				budget = cancelCheckEvery
+			}
 			switch {
 			case id < in.AMin[ai]:
 				ev.MinPrunes++
@@ -140,4 +190,5 @@ func scanWindowCollect(in *Input, lo, hi int, g *matching.Graph, ev *Events) {
 			}
 		}
 	}
+	return offset
 }

@@ -28,10 +28,17 @@ type Prepared struct {
 	// three O(n) copies per join (O(N²·n) across a similarity matrix).
 	bid        []int64
 	amin, amax []int64
+
+	// soa holds the flat structure-of-arrays streams of the SoA scan
+	// path (DESIGN.md §14): contiguous per-dimension counters and
+	// saturated epsilon windows plus per-part sums and ranges, all in
+	// sorted-buffer order, so the B×A sweep reads sequential memory.
+	soa soaStreams
 }
 
-// initViews materializes the flat scan views from the sorted buffers.
-// Every Prepared constructor (Prepare, ReadPrepared) must call it.
+// initViews materializes the flat scan views and SoA streams from the
+// sorted buffers. Every Prepared constructor (Prepare, ReadPrepared)
+// must call it.
 func (p *Prepared) initViews() {
 	p.bid = make([]int64, len(p.bb.Entries))
 	for i := range p.bb.Entries {
@@ -43,6 +50,9 @@ func (p *Prepared) initViews() {
 		p.amin[i] = p.ab.Entries[i].Min
 		p.amax[i] = p.ab.Entries[i].Max
 	}
+	p.soa = soaStreams{d: p.comm.Dim(), parts: p.layout.Parts()}
+	p.soa.buildB(p.comm.Users, p.bb)
+	p.soa.buildA(p.comm.Users, p.ab, p.eps)
 }
 
 // Prepare encodes the community for repeated MinMax joins under the
@@ -93,6 +103,7 @@ func (p *Prepared) Footprint() int64 {
 	n += int64(len(p.bb.Entries)) * (bEntrySize + parts*8)
 	n += int64(len(p.ab.Entries)) * (aEntrySize + 2*parts*8)
 	n += int64(len(p.bid)+len(p.amin)+len(p.amax)) * 8
+	n += p.soa.footprint()
 	return n
 }
 

@@ -11,11 +11,18 @@ import (
 // that triggered it.
 var ErrCanceled = errors.New("core: scan canceled")
 
-// cancelCheckEvery is how many outer-loop (B-side) iterations pass
-// between cancellation checkpoints. A power of two keeps the check a
-// mask-and-branch; at this stride the non-blocking channel poll is
-// amortized to noise while still bounding post-cancel work to one
-// stride of window scans.
+// cancelCheckEvery is how many scan steps — outer B rows plus inner
+// window iterations — pass between cancellation checkpoints. The budget
+// is carried across rows within a join (a single decrement-and-test per
+// step), so the poll cadence is bounded by work actually done rather
+// than by row count: a join of few B rows against huge A windows polls
+// just as often as one of many tiny rows. At this stride the
+// non-blocking channel poll is amortized to noise while bounding
+// post-cancel work to one stride of candidate checks.
+//
+// (An earlier version counted only outer rows, which reset the stride's
+// meaning per row shape: wide-window workloads could run 256·|A| steps
+// between polls.)
 const cancelCheckEvery = 256
 
 // canceled polls a Done channel without blocking or allocating. A nil
@@ -65,9 +72,10 @@ type Input struct {
 	// ablation; results are unchanged, only work increases).
 	DisableSkipOffset bool
 	// Done, when non-nil, requests cooperative cancellation: the scan
-	// loops poll it every cancelCheckEvery outer iterations and return
+	// loops poll it every cancelCheckEvery scan steps (outer rows plus
+	// window iterations, budget carried across rows) and return
 	// ErrCanceled once it is closed. A nil Done adds no work beyond one
-	// predictable branch per stride.
+	// predictable decrement-and-branch per step.
 	Done <-chan struct{}
 }
 
@@ -100,6 +108,11 @@ func ScanEx(in *Input, matcher matching.Matcher, ev *Events, tr *Trace) ([][2]in
 // slice then aliases the scratch and is only valid until the next scan
 // that uses it.
 func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) ([][2]int, error) {
+	if c, ok := in.Cmp.(*soaComparer); ok {
+		// Production streams: run the fused loop (soa.go), which inlines
+		// the classification instead of calling through the interface.
+		return apScanSoA(in, c, ev, tr, s)
+	}
 	var pairs [][2]int
 	var used []bool
 	if s != nil {
@@ -109,17 +122,30 @@ func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) ([][2]int, error) {
 		used = make([]bool, len(in.AMin))
 	}
 	offset := 0
+	budget := cancelCheckEvery
 	for bi := range in.BID {
-		if bi&(cancelCheckEvery-1) == 0 && canceled(in.Done) {
-			if s != nil {
-				s.pairs = pairs
+		if budget--; budget <= 0 {
+			if canceled(in.Done) {
+				if s != nil {
+					s.pairs = pairs
+				}
+				return nil, ErrCanceled
 			}
-			return nil, ErrCanceled
+			budget = cancelCheckEvery
 		}
 		skip := true
 		id := in.BID[bi]
 	scanA:
 		for ai := offset; ai < len(in.AMin); ai++ {
+			if budget--; budget <= 0 {
+				if canceled(in.Done) {
+					if s != nil {
+						s.pairs = pairs
+					}
+					return nil, ErrCanceled
+				}
+				budget = cancelCheckEvery
+			}
 			if used[ai] {
 				if skip && !in.DisableSkipOffset {
 					offset = ai + 1
@@ -180,6 +206,11 @@ func apScan(in *Input, ev *Events, tr *Trace, s *Scratch) ([][2]int, error) {
 // slice then aliases the scratch and is only valid until the next scan
 // that uses it.
 func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace, s *Scratch) ([][2]int, error) {
+	if c, ok := in.Cmp.(*soaComparer); ok {
+		// Production streams: run the fused loop (soa.go), which inlines
+		// the classification instead of calling through the interface.
+		return exScanSoA(in, c, matcher, ev, tr, s)
+	}
 	var out [][2]int
 	var g *matching.Graph
 	if s != nil {
@@ -200,18 +231,31 @@ func exScan(in *Input, matcher matching.Matcher, ev *Events, tr *Trace, s *Scrat
 		g.Reset()
 	}
 	offset := 0
+	budget := cancelCheckEvery
 	var maxV int64
 	for bi := range in.BID {
-		if bi&(cancelCheckEvery-1) == 0 && canceled(in.Done) {
-			if s != nil {
-				s.pairs = out
+		if budget--; budget <= 0 {
+			if canceled(in.Done) {
+				if s != nil {
+					s.pairs = out
+				}
+				return nil, ErrCanceled
 			}
-			return nil, ErrCanceled
+			budget = cancelCheckEvery
 		}
 		skip := true
 		id := in.BID[bi]
 	scanA:
 		for ai := offset; ai < len(in.AMin); ai++ {
+			if budget--; budget <= 0 {
+				if canceled(in.Done) {
+					if s != nil {
+						s.pairs = out
+					}
+					return nil, ErrCanceled
+				}
+				budget = cancelCheckEvery
+			}
 			switch {
 			case id < in.AMin[ai]:
 				ev.MinPrunes++

@@ -14,6 +14,7 @@ import "github.com/opencsj/csj/internal/matching"
 type Scratch struct {
 	in    Input
 	cmp   encComparer
+	scmp  soaComparer
 	used  []bool
 	pairs [][2]int
 	graph *matching.Graph
@@ -44,15 +45,23 @@ func (s *Scratch) matchGraph() *matching.Graph {
 }
 
 // bindPrepared points the scratch's scan view at the cached flat
-// buffers of a prepared pair. No slice is copied or allocated: BID,
-// AMin, and AMax alias the arrays built once at Prepare time.
+// buffers and SoA streams of a prepared pair. No slice is copied or
+// allocated: BID, AMin, AMax, and the comparer streams alias the arrays
+// built once at Prepare time.
 func (s *Scratch) bindPrepared(b, a *Prepared, opts *Options) *Input {
-	s.cmp = encComparer{bb: b.bb, ab: a.ab, ub: b.comm.Users, ua: a.comm.Users, eps: b.eps}
+	var cmp Comparer
+	if opts.ReferenceScan {
+		s.cmp = encComparer{bb: b.bb, ab: a.ab, ub: b.comm.Users, ua: a.comm.Users, eps: b.eps}
+		cmp = &s.cmp
+	} else {
+		s.scmp.bindStreams(&b.soa, &a.soa)
+		cmp = &s.scmp
+	}
 	s.in = Input{
 		BID:               b.bid,
 		AMin:              a.amin,
 		AMax:              a.amax,
-		Cmp:               &s.cmp,
+		Cmp:               cmp,
 		DisableSkipOffset: opts.DisableSkipOffset,
 		Done:              opts.Done,
 	}

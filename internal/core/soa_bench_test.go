@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/opencsj/csj/internal/dataset"
+	"github.com/opencsj/csj/internal/vector"
+)
+
+// vkCommunity draws a VK-like community (27 dims, Zipf-weighted
+// category counters) — the corpus shape csjbench -scan measures, so the
+// kernel benchmarks here track the same workload.
+func vkCommunity(rng *rand.Rand, name string, n int) *vector.Community {
+	gen := dataset.NewGenerator(dataset.VK, rng, 0)
+	users := make([]vector.Vector, n)
+	for i := range users {
+		users[i] = gen.User()
+	}
+	return &vector.Community{Name: name, Category: -1, Users: users}
+}
+
+func benchPrepared(b *testing.B, run func(bb, aa *Prepared, o Options, s *Scratch, r *Result) error, reference bool) {
+	rng := rand.New(rand.NewSource(11))
+	opts := Options{Eps: dataset.EpsilonVK, ReferenceScan: reference}
+	pb, err := Prepare(vkCommunity(rng, "B", 400), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pa, err := Prepare(vkCommunity(rng, "A", 440), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewScratch()
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(pb, pa, opts, s, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApPreparedSoA(b *testing.B)       { benchPrepared(b, ApMinMaxPreparedInto, false) }
+func BenchmarkApPreparedReference(b *testing.B) { benchPrepared(b, ApMinMaxPreparedInto, true) }
+func BenchmarkExPreparedSoA(b *testing.B)       { benchPrepared(b, ExMinMaxPreparedInto, false) }
+func BenchmarkExPreparedReference(b *testing.B) { benchPrepared(b, ExMinMaxPreparedInto, true) }

@@ -50,6 +50,13 @@ type Config struct {
 	// default: profiles reveal internals and profiling costs CPU, so
 	// expose it on trusted networks only.
 	EnablePprof bool
+	// ForceReferenceScan makes every MinMax join on this server use the
+	// scalar reference scan path instead of the flat SoA kernel
+	// (csj.Options.ReferenceScan), regardless of what requests ask for.
+	// An operational ablation switch: results are identical, so flipping
+	// it isolates the kernel's contribution in live latency metrics and
+	// provides a fallback if a kernel regression is ever suspected.
+	ForceReferenceScan bool
 	// IndexBuckets selects the histogram resolution of the pruning
 	// summaries the community store attaches to entries for the
 	// envelope index (DESIGN.md §12). 0 selects the library default;

@@ -231,6 +231,11 @@ type OptionsPayload struct {
 	AllowSizeImbalance bool    `json:"allow_size_imbalance,omitempty"`
 	Workers            int     `json:"workers,omitempty"`
 	P                  float64 `json:"p,omitempty"`
+	// ReferenceScan selects the scalar reference scan path instead of
+	// the flat SoA kernel for MinMax joins (results identical; a
+	// benchmarking/ablation switch). Config.ForceReferenceScan turns it
+	// on server-wide regardless of this field.
+	ReferenceScan bool `json:"reference_scan,omitempty"`
 }
 
 func (o *OptionsPayload) toOptions() (*csj.Options, error) {
@@ -242,6 +247,7 @@ func (o *OptionsPayload) toOptions() (*csj.Options, error) {
 		AllowSizeImbalance: o.AllowSizeImbalance,
 		Workers:            o.Workers,
 		P:                  o.P,
+		ReferenceScan:      o.ReferenceScan,
 	}
 	switch o.Matcher {
 	case "", "csf":

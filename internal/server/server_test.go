@@ -167,6 +167,39 @@ func TestSimilarityEndpoint(t *testing.T) {
 	}, http.StatusBadRequest, nil)
 }
 
+// TestReferenceScanIdentical pins the scan-kernel switches: a
+// reference_scan request and a -scan-kernel=reference server
+// (Config.ForceReferenceScan) must return exactly what the default SoA
+// kernel returns — the switch is a performance ablation, never a
+// semantic one.
+func TestReferenceScanIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	busers := randUsers(rng, 30, 4, 6)
+	ausers := randUsers(rng, 40, 4, 6)
+	run := func(ts *httptest.Server, reference bool) SimilarityResponse {
+		bID := uploadCommunity(t, ts, "B", busers)
+		aID := uploadCommunity(t, ts, "A", ausers)
+		var resp SimilarityResponse
+		doJSON(t, "POST", ts.URL+"/similarity", SimilarityRequest{
+			B: bID, A: aID, Method: "ex-minmax", IncludePairs: true,
+			Options: OptionsPayload{Epsilon: 1, ReferenceScan: reference},
+		}, http.StatusOK, &resp)
+		return resp
+	}
+	soaTS := newTestServer(t)
+	soa := run(soaTS, false)
+	ref := run(newTestServer(t), true)
+	forcedTS := httptest.NewServer(NewWithConfig(nil, Config{ForceReferenceScan: true}))
+	t.Cleanup(forcedTS.Close)
+	forced := run(forcedTS, false)
+	for name, got := range map[string]SimilarityResponse{"reference_scan": ref, "forced": forced} {
+		if got.Similarity != soa.Similarity || got.Matched != soa.Matched ||
+			got.Events != soa.Events || len(got.Pairs) != len(soa.Pairs) {
+			t.Errorf("%s path diverged from SoA kernel:\ngot  %+v\nwant %+v", name, got, soa)
+		}
+	}
+}
+
 func TestSimilarityAllMethodsAndMatchers(t *testing.T) {
 	ts := newTestServer(t)
 	rng := rand.New(rand.NewSource(7))

@@ -10,6 +10,7 @@ package vector
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Vector is a d-dimensional user profile. Each element is an aggregate
@@ -65,16 +66,20 @@ func (v Vector) Max() int32 {
 // condition: |a_i - b_i| <= eps for every dimension i. It panics if the
 // vectors have different lengths; callers are expected to have validated
 // community dimensionality up front.
+//
+// The difference is taken in int64: the naive int32 subtraction
+// overflows for extreme operands (MaxInt32 - MinInt32 wraps to -1 and
+// reads as a match), so no int32 arithmetic touches the operands. The
+// SoA scan path reaches the same answer through saturated lo/hi windows
+// that never subtract at compare time.
 func MatchEpsilon(a, b Vector, eps int32) bool {
 	if len(a) != len(b) {
 		panic("vector: MatchEpsilon on vectors of different dimensionality")
 	}
+	e := int64(eps)
 	for i := range a {
-		d := a[i] - b[i]
-		if d < 0 {
-			d = -d
-		}
-		if d > eps {
+		d := int64(a[i]) - int64(b[i])
+		if d > e || d < -e {
 			return false
 		}
 	}
@@ -82,14 +87,17 @@ func MatchEpsilon(a, b Vector, eps int32) bool {
 }
 
 // ChebyshevDistance returns max_i |a_i - b_i|, the smallest eps for which
-// a and b match. It panics on dimension mismatch.
+// a and b match, saturated to MaxInt32 (an epsilon is an int32, and any
+// distance at or above MaxInt32 is equally unmatchable). Computed in
+// int64 for the same overflow reason as MatchEpsilon. It panics on
+// dimension mismatch.
 func ChebyshevDistance(a, b Vector) int32 {
 	if len(a) != len(b) {
 		panic("vector: ChebyshevDistance on vectors of different dimensionality")
 	}
-	var m int32
+	var m int64
 	for i := range a {
-		d := a[i] - b[i]
+		d := int64(a[i]) - int64(b[i])
 		if d < 0 {
 			d = -d
 		}
@@ -97,7 +105,10 @@ func ChebyshevDistance(a, b Vector) int32 {
 			m = d
 		}
 	}
-	return m
+	if m > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(m)
 }
 
 // L1Distance returns sum_i |a_i - b_i|. SuperEGO's epsilon adaptation in

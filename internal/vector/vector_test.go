@@ -71,6 +71,58 @@ func TestMatchEpsilonPaperSection3Example(t *testing.T) {
 	}
 }
 
+// TestMatchEpsilonNoInt32Overflow is the regression for the epsilon
+// predicate's int32 subtraction: MaxInt32 - MinInt32 wraps to -1 in
+// int32, so the old compare declared opposite extremes (2^32-1 apart)
+// within any eps >= 1. The fixed compare works in int64 over the full
+// int32 domain.
+func TestMatchEpsilonNoInt32Overflow(t *testing.T) {
+	const maxI32, minI32 = int32(1<<31 - 1), int32(-1 << 31)
+	tests := []struct {
+		name string
+		a, b Vector
+		eps  int32
+		want bool
+	}{
+		{"opposite extremes small eps", Vector{maxI32}, Vector{minI32}, 5, false},
+		{"opposite extremes max eps", Vector{maxI32}, Vector{minI32}, maxI32, false},
+		{"extreme vs zero", Vector{maxI32}, Vector{0}, maxI32, true},
+		{"extreme vs zero short", Vector{maxI32}, Vector{0}, maxI32 - 1, false},
+		{"min vs zero", Vector{minI32}, Vector{0}, maxI32, false}, // distance is 2^31 > MaxInt32
+		{"min vs min", Vector{minI32}, Vector{minI32}, 0, true},
+		{"adjacent extremes", Vector{maxI32}, Vector{maxI32 - 1}, 1, true},
+		{"mixed dims", Vector{maxI32, 0, minI32}, Vector{minI32, 0, maxI32}, 100, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MatchEpsilon(tc.a, tc.b, tc.eps); got != tc.want {
+				t.Errorf("MatchEpsilon(%v, %v, %d) = %v, want %v", tc.a, tc.b, tc.eps, got, tc.want)
+			}
+			if got := MatchEpsilon(tc.b, tc.a, tc.eps); got != tc.want {
+				t.Errorf("MatchEpsilon(%v, %v, %d) = %v, want %v (symmetry)", tc.b, tc.a, tc.eps, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestChebyshevDistanceSaturates pins the companion fix: the distance
+// accumulates in int64 and saturates the int32 return at MaxInt32
+// instead of wrapping negative on extreme spans.
+func TestChebyshevDistanceSaturates(t *testing.T) {
+	const maxI32, minI32 = int32(1<<31 - 1), int32(-1 << 31)
+	if got := ChebyshevDistance(Vector{maxI32}, Vector{minI32}); got != maxI32 {
+		t.Errorf("ChebyshevDistance(extremes) = %d, want saturated %d", got, maxI32)
+	}
+	if got := ChebyshevDistance(Vector{minI32}, Vector{0}); got != maxI32 {
+		t.Errorf("ChebyshevDistance(MinInt32, 0) = %d, want saturated %d", got, maxI32)
+	}
+	// Agreement with MatchEpsilon on extreme inputs: saturated distance
+	// still classifies correctly against every representable eps.
+	if MatchEpsilon(Vector{maxI32}, Vector{minI32}, maxI32) {
+		t.Error("opposite extremes matched under eps=MaxInt32")
+	}
+}
+
 func TestChebyshevDistance(t *testing.T) {
 	a := Vector{1, 5, 9}
 	b := Vector{4, 5, 2}

@@ -64,7 +64,8 @@ func similarityPreparedInto(ctx context.Context, b, a *PreparedCommunity, method
 	}
 	copts := core.Options{Eps: o.Epsilon, Parts: o.Parts,
 		Matcher: o.Matcher.matcher(), DisableSkipOffset: o.DisableSkipOffset,
-		Done: ctx.Done()}
+		ReferenceScan: o.ReferenceScan,
+		Done:          ctx.Done()}
 	run := core.ApMinMaxPreparedInto
 	if method == ExMinMax {
 		run = core.ExMinMaxPreparedInto
