@@ -72,6 +72,7 @@ func TestCancelPreClosedDoneStopsPreparedScans(t *testing.T) {
 // exact path: every worker must observe Done and the join must report
 // ErrCanceled, not a partial pair set.
 func TestCancelPreClosedDoneStopsParallelScan(t *testing.T) {
+	requireParallelism(t)
 	rng := rand.New(rand.NewSource(95))
 	b := randCommunity(rng, "B", 300, 4, 6)
 	a := randCommunity(rng, "A", 400, 4, 6)

@@ -2,15 +2,31 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/opencsj/csj/internal/matching"
 )
 
+// requireParallelism raises GOMAXPROCS to at least 2 for the duration
+// of the test. ExMinMaxParallel clamps workers to GOMAXPROCS, so on a
+// single-core box every multi-worker case would silently collapse to
+// the inline serial path — and `go test -race` would never exercise
+// the concurrent workers it exists to check.
+func requireParallelism(t *testing.T) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= 2 {
+		return
+	}
+	prev := runtime.GOMAXPROCS(2)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
 // ExMinMaxParallel with the Hopcroft–Karp matcher must equal the serial
 // optimum for every worker count, and the merged candidate graph must
 // contain exactly the serial match events.
 func TestExMinMaxParallelEqualsSerial(t *testing.T) {
+	requireParallelism(t)
 	rng := rand.New(rand.NewSource(51))
 	for trial := 0; trial < 15; trial++ {
 		d := 1 + rng.Intn(8)

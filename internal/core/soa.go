@@ -194,12 +194,6 @@ type soaComparer struct {
 	// A-side streams, indexed by aPos.
 	awin    []int32
 	aranges []int64
-	// Cached row views of the current B position. The scan loops hold
-	// bPos fixed across an entire A window, so the row slicing runs once
-	// per B user instead of once per candidate pair.
-	lastB int
-	bv    []int32
-	bp    []int64
 }
 
 // bindStreams points the comparer at one pair of stream sets: b's
@@ -208,23 +202,21 @@ func (c *soaComparer) bindStreams(b, a *soaStreams) {
 	c.d, c.parts = b.d, b.parts
 	c.bvals, c.bparts = b.bvals, b.bparts
 	c.awin, c.aranges = a.awin, a.aranges
-	c.lastB = -1
-	c.bv, c.bp = nil, nil
 }
 
+// Compare is stateless over the bound streams: it slices the B row by
+// bPos on every call, so one comparer may serve concurrent scan workers
+// (ExMinMaxParallel installs a single shared comparer as in.Cmp). The
+// fused loops hoist the row views once per outer B row themselves, so
+// there is nothing to memoize here — a mutable current-row cache would
+// be a data race in the parallel path for no serial win.
 func (c *soaComparer) Compare(bPos, aPos int) Outcome {
-	if bPos != c.lastB {
-		p, d := c.parts, c.d
-		c.bp = c.bparts[bPos*p : bPos*p+p]
-		c.bv = c.bvals[bPos*d : bPos*d+d]
-		c.lastB = bPos
-	}
-	if !partsWithin(c.bp, c.aranges[aPos*2*c.parts:]) {
+	d, p := c.d, c.parts
+	if !partsWithin(c.bparts[bPos*p:bPos*p+p], c.aranges[aPos*2*p:]) {
 		return OutcomeNoOverlap
 	}
-	d := c.d
 	w := c.awin[aPos*2*d:]
-	if epsWithin(c.bv, w[:d], w[d:2*d]) {
+	if epsWithin(c.bvals[bPos*d:bPos*d+d], w[:d], w[d:2*d]) {
 		return OutcomeMatch
 	}
 	return OutcomeNoMatch

@@ -281,6 +281,7 @@ func TestKernelGuardSoAZeroAlloc(t *testing.T) {
 // over an SoA-backed input and checks pair counts against the serial
 // optimum (the tile scheduler must not change the candidate graph).
 func TestSoAParallelTilesMatchSerial(t *testing.T) {
+	requireParallelism(t)
 	rng := rand.New(rand.NewSource(717))
 	// Communities larger than one tile, so the tile loop actually runs.
 	b := randCommunity(rng, "B", 600, 6, 8)
