@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench faults metricsguard storeguard indexguard kernelguard fuzzsmoke crashguard clusterguard routecheck
+.PHONY: check vet build test race bench faults metricsguard storeguard indexguard kernelguard specguard fuzzsmoke crashguard clusterguard routecheck
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -65,6 +65,24 @@ indexguard:
 kernelguard:
 	$(GO) test -count=1 -v -run '^TestSoAKernelMatchesReference$$|^TestSoAKernelDuplicateScores$$|^TestSoAKernelExtremeValues$$|^TestEpsWithinKernelEdges$$|^TestKernelGuardSoAZeroAlloc$$' ./internal/core
 	$(GO) test -count=1 -v -run '^TestRunPoolSerialInline$$' .
+
+# specguard is the MatchSpec gate (DESIGN.md §15): per-dimension
+# epsilon vectors must match the scalar reference cell-for-cell (SoA
+# kernel included), an all-equal vector must be indistinguishable from
+# its scalar everywhere, the spec-digest cache key must be stable and
+# collision-resistant with a 0 allocs/op warm hit, the envelope index
+# must stay provably exact under heterogeneous vectors and composite
+# scorers, the server must map bad specs to pinned 422 bodies without
+# rebuilding warm views, and the coordinator must forward the full
+# spec to every shard verbatim. The alloc check is !race-gated, same
+# reason as metricsguard.
+specguard:
+	$(GO) test -count=1 -v -run '^TestNewEpsCanonicalForm$$|^TestEpsAtAndEqual$$|^TestEpsValidate$$|^TestMatchEpsUniformEquivalence$$|^TestMatchEpsPerDimension$$' ./internal/vector
+	$(GO) test -count=1 -v -run '^TestEpsVec' ./internal/core
+	$(GO) test -count=1 -v -run '^TestSpecKeyedCache|^TestSpecDigestStability$$|^TestStoreCacheHitSpecZeroAllocs$$' ./internal/store
+	$(GO) test -count=1 -v -run '^TestSpecAllEqualVecMatchesScalar$$|^TestEpsilonVec|^TestScorer|^TestMatchSpecDigest$$' .
+	$(GO) test -count=1 -v -run '^TestSpecValidationStatusAndBodies$$|^TestMatrixSpecWarmCacheNoRebuild$$|^TestSimilarityScorerBlendE2E$$' ./internal/server
+	$(GO) test -count=1 -v -run '^TestCoordinatorForwardsSpecVerbatim$$' ./internal/cluster
 
 # fuzzsmoke gives each ingest fuzz target a short native-fuzzing burst
 # (seeded with the crafted-header corpus of the hardening pass), so CI

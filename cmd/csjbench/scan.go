@@ -37,10 +37,15 @@ type scanReport struct {
 	ExPreparedRefNsOp int64   `json:"ex_prepared_ref_ns_op"`
 	ExPreparedSpeedup float64 `json:"ex_prepared_speedup"`
 
-	// One-shot Similarity (encode + scan per call).
-	OneShotApSoANsOp int64   `json:"oneshot_ap_soa_ns_op"`
-	OneShotApRefNsOp int64   `json:"oneshot_ap_ref_ns_op"`
-	OneShotApSpeedup float64 `json:"oneshot_ap_speedup"`
+	// One-shot Similarity (encode + scan per call). SoA and Ref force
+	// each scan path at the core layer; Default is the public
+	// csj.Similarity path, which routes one-shot joins through the
+	// reference scan (a single scan cannot amortize the SoA stream
+	// build — the forced-SoA number documents why).
+	OneShotApSoANsOp     int64   `json:"oneshot_ap_soa_ns_op"`
+	OneShotApRefNsOp     int64   `json:"oneshot_ap_ref_ns_op"`
+	OneShotApDefaultNsOp int64   `json:"oneshot_ap_default_ns_op"`
+	OneShotApSpeedup     float64 `json:"oneshot_ap_speedup"`
 
 	// Steady-state allocations of the prepared SoA Ap join (the
 	// kernelguard invariant: must be 0).
@@ -108,18 +113,26 @@ func runScan(w io.Writer, cfg scanConfig, load *loadConfig) error {
 		rep.ExPreparedSpeedup = float64(rep.ExPreparedRefNsOp) / float64(rep.ExPreparedSoANsOp)
 	}
 
-	oneShot := func(reference bool) int64 {
-		opts := &csj.Options{Epsilon: eps, ReferenceScan: reference}
+	cib, cia := toInternal(ib), toInternal(ia)
+	oneShotCore := func(o core.Options) int64 {
 		return testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := csj.Similarity(ib, ia, csj.ApMinMax, opts); err != nil {
+				if _, err := core.ApMinMax(cib, cia, o); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}).NsPerOp()
 	}
-	rep.OneShotApSoANsOp = oneShot(false)
-	rep.OneShotApRefNsOp = oneShot(true)
+	rep.OneShotApSoANsOp = oneShotCore(core.Options{Eps: eps, SoAOneShot: true})
+	rep.OneShotApRefNsOp = oneShotCore(core.Options{Eps: eps, ReferenceScan: true})
+	rep.OneShotApDefaultNsOp = testing.Benchmark(func(b *testing.B) {
+		opts := &csj.Options{Epsilon: eps}
+		for i := 0; i < b.N; i++ {
+			if _, err := csj.Similarity(ib, ia, csj.ApMinMax, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).NsPerOp()
 	if rep.OneShotApSoANsOp > 0 {
 		rep.OneShotApSpeedup = float64(rep.OneShotApRefNsOp) / float64(rep.OneShotApSoANsOp)
 	}

@@ -132,9 +132,24 @@ type Options struct {
 	// paper uses 1 for VK-scale counters and 15000 for its synthetic
 	// [0, 500000] domain.
 	Epsilon int32
+	// EpsilonVec, when non-empty, replaces Epsilon with an explicit
+	// per-dimension tolerance: dimension j matches within EpsilonVec[j]
+	// (per-category tolerance — a strict category may demand equality
+	// while a noisy one tolerates wide drift). Its length must equal the
+	// profile dimensionality and every entry must be >= 0. An all-equal
+	// vector canonicalizes to the scalar and is accepted everywhere;
+	// heterogeneous vectors require a MinMax method (the prepared and
+	// indexed engines included) — Baseline and SuperEGO return
+	// ErrEpsilonVecUnsupported.
+	EpsilonVec []int32
 	// Parts is the MinMax encoding part count; 0 selects the paper's
 	// default of 4. Used by the MinMax methods only.
 	Parts int
+	// Scorer, when non-nil, blends the CSJ score with category-overlap
+	// and centroid-cosine signals into the reported Similarity; see
+	// ScorerSpec. Pair ordering, top-k selection, and cluster merging
+	// all operate on the blended score. Nil keeps the paper's score.
+	Scorer *ScorerSpec
 	// EGOThreshold is SuperEGO's recursion threshold t; 0 selects the
 	// default (64). Used by the SuperEGO methods only.
 	EGOThreshold int
@@ -210,6 +225,20 @@ func (o *Options) orDefault() Options {
 	if out.P == 0 {
 		out.P = 1
 	}
+	// Canonicalize the spec fields (MatchSpec.Canonical's rules): an
+	// all-equal epsilon vector is the scalar — by collapsing it here,
+	// every downstream path literally runs the scalar code — and a no-op
+	// scorer is no scorer.
+	if len(out.EpsilonVec) > 0 {
+		if s, ok := vector.NewEps(out.Epsilon, out.EpsilonVec).Uniform(); ok {
+			out.Epsilon, out.EpsilonVec = s, nil
+		}
+	}
+	// An invalid scorer (all-zero or negative weights) is kept so the
+	// entry points can reject it instead of silently ignoring it.
+	if out.Scorer != nil && out.Scorer.validate() == nil && out.Scorer.isNoop() {
+		out.Scorer = nil
+	}
 	return out
 }
 
@@ -244,8 +273,12 @@ func (e *Events) Comparisons() int64 { return e.NoMatches + e.Matches }
 type Result struct {
 	// Method that produced the result.
 	Method Method
-	// Similarity is Eq. (1): p * |pairs| / |B|.
+	// Similarity is Eq. (1): p * |pairs| / |B|. With Options.Scorer it
+	// is the composite blend instead; Blend reports the components.
 	Similarity float64
+	// Blend reports the unweighted score components when a composite
+	// scorer was attached; nil otherwise.
+	Blend *ScoreBlend
 	// Pairs lists the matched user pairs.
 	Pairs []Pair
 	// SizeB and SizeA record the community sizes.
@@ -281,6 +314,9 @@ func SimilarityCtx(ctx context.Context, b, a *Community, method Method, opts *Op
 	if err := ia.Validate(0); err != nil {
 		return nil, err
 	}
+	if err := o.Scorer.validate(); err != nil {
+		return nil, err
+	}
 	if !o.AllowSizeImbalance {
 		if err := vector.CheckSizes(ib, ia); err != nil {
 			return nil, fmt.Errorf("%w (pass AllowSizeImbalance to override)", err)
@@ -310,6 +346,7 @@ func SimilarityCtx(ctx context.Context, b, a *Community, method Method, opts *Op
 		p = o.P
 	}
 	out.Similarity = p * float64(len(out.Pairs)) / float64(b.Size())
+	applyScorerRaw(&o, ib, ia, out)
 	if o.OnJoinEvents != nil {
 		o.OnJoinEvents(out.Events)
 	}
@@ -334,6 +371,9 @@ func dispatch(ctx context.Context, b, a *vector.Community, method Method, o *Opt
 	}
 	switch method {
 	case ApBaseline, ExBaseline:
+		if len(o.EpsilonVec) > 0 {
+			return nil, fmt.Errorf("%w: %s", ErrEpsilonVecUnsupported, method)
+		}
 		opts := baseline.Options{
 			Eps:               o.Epsilon,
 			Matcher:           o.Matcher.matcher(),
@@ -349,6 +389,7 @@ func dispatch(ctx context.Context, b, a *vector.Community, method Method, o *Opt
 	case ApMinMax, ExMinMax:
 		opts := core.Options{
 			Eps:               o.Epsilon,
+			EpsVec:            o.EpsilonVec,
 			Parts:             o.Parts,
 			Matcher:           o.Matcher.matcher(),
 			DisableSkipOffset: o.DisableSkipOffset,
@@ -363,6 +404,9 @@ func dispatch(ctx context.Context, b, a *vector.Community, method Method, o *Opt
 		}
 		return core.ExMinMax(b, a, opts)
 	case ApSuperEGO, ExSuperEGO:
+		if len(o.EpsilonVec) > 0 {
+			return nil, fmt.Errorf("%w: %s", ErrEpsilonVecUnsupported, method)
+		}
 		opts := ego.Options{
 			Eps:            o.Epsilon,
 			T:              o.EGOThreshold,

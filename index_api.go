@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/opencsj/csj/internal/index"
+	"github.com/opencsj/csj/internal/vector"
 )
 
 // This file is the public surface of the envelope-pruning index
@@ -74,7 +75,26 @@ func (cs *CommunitySummary) Equal(o *CommunitySummary) bool {
 // O(d*buckets) from the summaries alone — no encodings, no scan — and
 // allocates nothing (pinned by `make indexguard`).
 func UpperBoundPairs(x, y *CommunitySummary, eps int32) int {
-	return index.UpperBoundPairs(x.s, y.s, eps)
+	return index.UpperBoundPairs(x.s, y.s, vector.UniformEps(eps))
+}
+
+// upperBoundPairsOpts is the bound under the options' full tolerance —
+// the scalar epsilon or the per-dimension vector when one is set. All
+// indexed engines bound through here so pruning stays exact for both
+// spellings.
+func upperBoundPairsOpts(x, y *CommunitySummary, o *Options) int {
+	return index.UpperBoundPairs(x.s, y.s, vector.NewEps(o.Epsilon, o.EpsilonVec))
+}
+
+// UpperBoundPairsVec is UpperBoundPairs under a per-dimension epsilon
+// vector (see Options.EpsilonVec): dimension j's envelope and histogram
+// flow are widened by eps[j], so the bound stays provable for
+// heterogeneous tolerances. An all-equal vector bounds identically to
+// the equivalent scalar. A vector whose length does not match the
+// summaries' dimensionality falls back to the size-only cap — still
+// sound, never under-counting.
+func UpperBoundPairsVec(x, y *CommunitySummary, eps []int32) int {
+	return index.UpperBoundPairs(x.s, y.s, vector.NewEps(0, eps))
 }
 
 // Index is a candidate-aligned set of community summaries attached to a
@@ -176,7 +196,8 @@ type IndexedCandidate struct {
 // candidate is joined exactly, so the answer is the true top-k, not a
 // heuristic refinement. The ApproxSimilarity field of each returned
 // entry carries the candidate's index upper bound instead of an
-// Ap-MinMax score. Ties on similarity break by ascending candidate
+// Ap-MinMax score (lifted into the composite domain when a scorer is
+// attached, so it always upper-bounds the reported Similarity). Ties on similarity break by ascending candidate
 // index. If fewer than k candidates can be scored, size-skipped
 // candidates pad the tail (Skipped set, no Result).
 //
@@ -234,7 +255,7 @@ func indexOrder(pivot *PreparedCommunity, candidates []IndexedCandidate, o *Opti
 			continue
 		}
 		stats.BoundChecks++
-		ub := index.UpperBoundPairs(ps.s, cs.s, o.Epsilon)
+		ub := upperBoundPairsOpts(ps, cs, o)
 		order = append(order, boundEntry{idx: i, bound: float64(ub) / float64(bSize)})
 	}
 	sort.Slice(order, func(x, y int) bool {
@@ -286,7 +307,11 @@ func topKIndexed(ctx context.Context, pivot *PreparedCommunity, candidates []Ind
 	scored := make([]TopKResult, 0, min(len(order), 2*k))
 	var sc Scratch
 	for pos, e := range order {
-		if len(heap) == k && e.bound < heap[0] {
+		// With a composite scorer the threshold holds blended scores, so
+		// the CSJ bound is lifted into the composite domain first
+		// (scoreBound is monotone in the bound, preserving the
+		// descending visit order; it is the identity without a scorer).
+		if len(heap) == k && scoreBound(o.Scorer, e.bound) < heap[0] {
 			// Bounds are non-increasing from here: the whole tail is
 			// provably below the kth best similarity.
 			stats.Pruned += int64(len(order) - pos)
@@ -312,7 +337,7 @@ func topKIndexed(ctx context.Context, pivot *PreparedCommunity, candidates []Ind
 		scored = append(scored, TopKResult{
 			Index:            e.idx,
 			Name:             candName(&candidates[e.idx], pc),
-			ApproxSimilarity: e.bound,
+			ApproxSimilarity: scoreBound(o.Scorer, e.bound),
 			Result:           res,
 		})
 		if len(heap) < k {
@@ -449,7 +474,10 @@ func rankAboveIndexed(ctx context.Context, pivot *PreparedCommunity, candidates 
 	out := make([]Ranked, 0, len(order))
 	var sc Scratch
 	for pos, e := range order {
-		if pEff*e.bound < minSim {
+		// Discount the CSJ bound by p first, then lift it into the
+		// composite domain — p applies to the CSJ component only, so
+		// lifting before discounting would be unsound.
+		if scoreBound(o.Scorer, pEff*e.bound) < minSim {
 			// Best-first order: every remaining bound is at most this
 			// one, so the whole tail is provably below the threshold.
 			stats.Pruned += int64(len(order) - pos)

@@ -12,6 +12,12 @@ import (
 type Options struct {
 	// Eps is the per-dimension absolute-difference threshold (>= 0).
 	Eps int32
+	// EpsVec, when non-empty, replaces Eps with an explicit per-dimension
+	// tolerance: dimension j matches within EpsVec[j]. Its length must
+	// equal the profile dimensionality and every entry must be >= 0. An
+	// all-equal vector canonicalizes to the scalar path (vector.NewEps),
+	// so it is cell-for-cell identical to setting Eps.
+	EpsVec []int32
 	// Parts is the number of encoding parts; 0 selects the paper's
 	// default of 4 (clamped to the dimensionality when d < Parts).
 	Parts int
@@ -27,6 +33,13 @@ type Options struct {
 	// instead of the flat SoA kernel (ablation and benchmarking only;
 	// results are identical — the kernelguard gate pins it).
 	ReferenceScan bool
+	// SoAOneShot makes the one-shot entry points (ApMinMax/ExMinMax)
+	// build and scan the flat SoA streams. By default one-shot joins use
+	// the reference comparer: building the streams per call costs more
+	// than the single scan saves (~0.8x, BENCH_scan.json), so SoA pays
+	// off only on the prepared paths where the streams are built once.
+	// Ignored when ReferenceScan is set; prepared joins ignore both.
+	SoAOneShot bool
 	// Done, when non-nil, requests cooperative cancellation: the scan
 	// loops poll it periodically and return ErrCanceled once it closes
 	// (typically ctx.Done() threaded down from the public API).
@@ -49,6 +62,11 @@ func (o *Options) matcher() matching.Matcher {
 		return matching.CSF
 	}
 	return o.Matcher
+}
+
+// eps resolves the canonical tolerance from the scalar/vector pair.
+func (o *Options) eps() vector.Eps {
+	return vector.NewEps(o.Eps, o.EpsVec)
 }
 
 // Result is the outcome of one CSJ method run.
@@ -88,7 +106,12 @@ func ValidateInputs(b, a *vector.Community, eps int32) error {
 }
 
 func validate(b, a *vector.Community, opts *Options) error {
-	return ValidateInputs(b, a, opts.Eps)
+	if err := ValidateInputs(b, a, opts.Eps); err != nil {
+		return err
+	}
+	// The scalar check above covers Eps; a per-dimension vector is
+	// additionally pinned to the profile dimensionality here.
+	return opts.eps().Validate(b.Dim())
 }
 
 // encComparer is the scalar reference Comparer: the paper's lines 11-12
@@ -103,7 +126,7 @@ type encComparer struct {
 	ab  *encoding.ABuffer
 	ub  []vector.Vector
 	ua  []vector.Vector
-	eps int32
+	eps vector.Eps
 }
 
 func (c *encComparer) Compare(bPos, aPos int) Outcome {
@@ -111,7 +134,7 @@ func (c *encComparer) Compare(bPos, aPos int) Outcome {
 	if !encoding.PartsOverlap(eB, eA) {
 		return OutcomeNoOverlap
 	}
-	if vector.MatchEpsilon(c.ub[eB.Ref], c.ua[eA.Ref], c.eps) {
+	if vector.MatchEps(c.ub[eB.Ref], c.ua[eA.Ref], c.eps) {
 		return OutcomeMatch
 	}
 	return OutcomeNoMatch
@@ -124,8 +147,9 @@ func encode(b, a *vector.Community, opts *Options) (*Input, *encoding.BBuffer, *
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	eps := opts.eps()
 	bb := encoding.EncodeB(b, layout)
-	ab := encoding.EncodeA(a, layout, opts.Eps)
+	ab := encoding.EncodeA(a, layout, eps)
 	in := &Input{
 		BID:               make([]int64, len(bb.Entries)),
 		AMin:              make([]int64, len(ab.Entries)),
@@ -140,16 +164,18 @@ func encode(b, a *vector.Community, opts *Options) (*Input, *encoding.BBuffer, *
 		in.AMin[i] = ab.Entries[i].Min
 		in.AMax[i] = ab.Entries[i].Max
 	}
-	if opts.ReferenceScan {
-		in.Cmp = &encComparer{bb: bb, ab: ab, ub: b.Users, ua: a.Users, eps: opts.Eps}
+	if opts.ReferenceScan || !opts.SoAOneShot {
+		in.Cmp = &encComparer{bb: bb, ab: ab, ub: b.Users, ua: a.Users, eps: eps}
 		return in, bb, ab, nil
 	}
-	// Build the one-shot SoA streams: O((|B|+|A|)·d) sequential work,
-	// paid once before a scan that reads the streams O(|B|·|A|) times.
+	// Build the one-shot SoA streams: O((|B|+|A|)·d) sequential work
+	// ahead of a scan that reads the streams O(|B|·|A|) times. Opt-in
+	// for one-shot joins (see Options.SoAOneShot); the prepared paths
+	// build the streams once at Prepare time instead.
 	sb := soaStreams{d: layout.Dim(), parts: layout.Parts()}
 	sb.buildB(b.Users, bb)
 	sa := soaStreams{d: layout.Dim(), parts: layout.Parts()}
-	sa.buildA(a.Users, ab, opts.Eps)
+	sa.buildA(a.Users, ab, eps)
 	cmp := &soaComparer{}
 	cmp.bindStreams(&sb, &sa)
 	in.Cmp = cmp

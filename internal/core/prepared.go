@@ -19,7 +19,7 @@ import (
 type Prepared struct {
 	comm   *vector.Community
 	layout *encoding.Layout
-	eps    int32
+	eps    vector.Eps
 	bb     *encoding.BBuffer
 	ab     *encoding.ABuffer
 
@@ -56,13 +56,17 @@ func (p *Prepared) initViews() {
 }
 
 // Prepare encodes the community for repeated MinMax joins under the
-// given epsilon and part count.
+// given epsilon (scalar or per-dimension) and part count.
 func Prepare(c *vector.Community, opts Options) (*Prepared, error) {
 	if c.Size() == 0 {
 		return nil, vector.ErrEmptyCommunity
 	}
 	if opts.Eps < 0 {
 		return nil, fmt.Errorf("core: epsilon %d must be non-negative", opts.Eps)
+	}
+	eps := opts.eps()
+	if err := eps.Validate(c.Dim()); err != nil {
+		return nil, err
 	}
 	layout, err := encoding.NewLayout(c.Dim(), opts.parts(c.Dim()))
 	if err != nil {
@@ -71,9 +75,9 @@ func Prepare(c *vector.Community, opts Options) (*Prepared, error) {
 	p := &Prepared{
 		comm:   c,
 		layout: layout,
-		eps:    opts.Eps,
+		eps:    eps,
 		bb:     encoding.EncodeB(c, layout),
-		ab:     encoding.EncodeA(c, layout, opts.Eps),
+		ab:     encoding.EncodeA(c, layout, eps),
 	}
 	p.initViews()
 	return p, nil
@@ -107,14 +111,24 @@ func (p *Prepared) Footprint() int64 {
 	return n
 }
 
+// epsString renders a tolerance for error messages: the scalar digits,
+// or the bracketed vector.
+func epsString(e vector.Eps) string {
+	if s, ok := e.Uniform(); ok {
+		return fmt.Sprintf("%d", s)
+	}
+	return fmt.Sprintf("%v", e.Vec())
+}
+
 // compatible checks that two prepared communities can be joined.
 func compatible(b, a *Prepared) error {
 	if b.comm.Dim() != a.comm.Dim() {
 		return fmt.Errorf("%w: B has %d dimensions, A has %d",
 			vector.ErrDimensionMismatch, b.comm.Dim(), a.comm.Dim())
 	}
-	if b.eps != a.eps {
-		return fmt.Errorf("core: prepared communities disagree on epsilon (%d vs %d)", b.eps, a.eps)
+	if !b.eps.Equal(a.eps) {
+		return fmt.Errorf("core: prepared communities disagree on epsilon (%s vs %s)",
+			epsString(b.eps), epsString(a.eps))
 	}
 	if b.layout.Parts() != a.layout.Parts() {
 		return fmt.Errorf("core: prepared communities disagree on parts (%d vs %d)",

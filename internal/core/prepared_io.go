@@ -17,21 +17,51 @@ import (
 //	the community in the vector binary format
 //	the encoded buffers in the encoding buffers format
 //
-// Loading restores the exact cached state without re-encoding; a
-// sanity pass cross-checks the buffers against the stored vectors.
+// A prepared view built under a per-dimension epsilon vector uses the
+// v2 record instead:
+//
+//	magic "CSJP\x02"
+//	uint32 entry count, then that many int32 epsilon entries
+//	the community in the vector binary format
+//	the encoded buffers in the encoding buffers format
+//
+// Uniform views keep writing the v1 record byte-for-byte, so files from
+// earlier releases load unchanged. Loading restores the exact cached
+// state without re-encoding; a sanity pass cross-checks the buffers
+// against the stored vectors.
 
-const preparedMagic = "CSJP\x01"
+const (
+	preparedMagic    = "CSJP\x01"
+	preparedMagicVec = "CSJP\x02"
+)
 
 // WritePrepared serializes a prepared community.
 func WritePrepared(w io.Writer, p *Prepared) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(preparedMagic); err != nil {
-		return err
-	}
-	var epsBuf [4]byte
-	binary.LittleEndian.PutUint32(epsBuf[:], uint32(p.eps))
-	if _, err := bw.Write(epsBuf[:]); err != nil {
-		return err
+	var buf [4]byte
+	if s, ok := p.eps.Uniform(); ok {
+		if _, err := bw.WriteString(preparedMagic); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(buf[:], uint32(s))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	} else {
+		if _, err := bw.WriteString(preparedMagicVec); err != nil {
+			return err
+		}
+		vec := p.eps.Vec()
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(vec)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		for _, e := range vec {
+			binary.LittleEndian.PutUint32(buf[:], uint32(e))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
 	}
 	if err := vector.WriteBinary(bw, p.comm); err != nil {
 		return err
@@ -42,6 +72,10 @@ func WritePrepared(w io.Writer, p *Prepared) error {
 	return bw.Flush()
 }
 
+// maxPreparedEpsDim bounds the epsilon-vector length a v2 record may
+// declare, so a corrupted count cannot drive a huge allocation.
+const maxPreparedEpsDim = 1 << 20
+
 // ReadPrepared parses a prepared community written by WritePrepared.
 func ReadPrepared(r io.Reader) (*Prepared, error) {
 	br := bufio.NewReader(r)
@@ -49,20 +83,46 @@ func ReadPrepared(r io.Reader) (*Prepared, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading prepared magic: %w", err)
 	}
-	if string(magic) != preparedMagic {
+	var buf [4]byte
+	var eps vector.Eps
+	switch string(magic) {
+	case preparedMagic:
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("core: reading prepared epsilon: %w", err)
+		}
+		s := int32(binary.LittleEndian.Uint32(buf[:]))
+		if s < 0 {
+			return nil, fmt.Errorf("core: prepared epsilon %d is negative", s)
+		}
+		eps = vector.UniformEps(s)
+	case preparedMagicVec:
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("core: reading prepared epsilon count: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(buf[:])
+		if n == 0 || n > maxPreparedEpsDim {
+			return nil, fmt.Errorf("core: prepared epsilon vector declares %d entries", n)
+		}
+		vec := make([]int32, n)
+		for i := range vec {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("core: reading prepared epsilon entry %d: %w", i, err)
+			}
+			vec[i] = int32(binary.LittleEndian.Uint32(buf[:]))
+		}
+		eps = vector.NewEps(0, vec)
+		if err := eps.Validate(int(n)); err != nil {
+			return nil, fmt.Errorf("core: prepared epsilon vector: %w", err)
+		}
+	default:
 		return nil, fmt.Errorf("core: bad prepared magic %q", magic)
-	}
-	var epsBuf [4]byte
-	if _, err := io.ReadFull(br, epsBuf[:]); err != nil {
-		return nil, fmt.Errorf("core: reading prepared epsilon: %w", err)
-	}
-	eps := int32(binary.LittleEndian.Uint32(epsBuf[:]))
-	if eps < 0 {
-		return nil, fmt.Errorf("core: prepared epsilon %d is negative", eps)
 	}
 	comm, err := vector.ReadBinary(br)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading prepared community: %w", err)
+	}
+	if err := eps.Validate(comm.Dim()); err != nil {
+		return nil, fmt.Errorf("core: prepared epsilon vector: %w", err)
 	}
 	bb, ab, err := encoding.ReadBuffers(br)
 	if err != nil {

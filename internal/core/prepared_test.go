@@ -121,7 +121,7 @@ func TestPreparedRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Size() != p.Size() || back.eps != p.eps {
+	if back.Size() != p.Size() || !back.eps.Equal(p.eps) {
 		t.Fatalf("metadata mismatch after round trip")
 	}
 	// Joins through the loaded form must equal joins through the

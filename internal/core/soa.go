@@ -150,8 +150,12 @@ func (s *soaStreams) buildB(users []vector.Vector, bb *encoding.BBuffer) {
 }
 
 // buildA materializes the A-side streams in ab's sorted order, with the
-// per-dimension epsilon windows saturated to int32.
-func (s *soaStreams) buildA(users []vector.Vector, ab *encoding.ABuffer, eps int32) {
+// per-dimension epsilon windows saturated to int32. The awin rows store
+// one [lo, hi] window per dimension, so a per-dimension tolerance is
+// purely a build-time concern: dimension j's window widens by eps_j and
+// the fused scan loops compare against the same streams either way —
+// heterogeneous epsilon adds zero inner-loop cost.
+func (s *soaStreams) buildA(users []vector.Vector, ab *encoding.ABuffer, eps vector.Eps) {
 	d, p := s.d, s.parts
 	s.awin = make([]int32, len(ab.Entries)*2*d)
 	s.aranges = make([]int64, len(ab.Entries)*2*p)
@@ -160,8 +164,9 @@ func (s *soaStreams) buildA(users []vector.Vector, ab *encoding.ABuffer, eps int
 		w := s.awin[i*2*d : (i+1)*2*d]
 		lo, hi := w[:d], w[d:]
 		for j, v := range users[e.Ref] {
-			lo[j] = satInt32(int64(v) - int64(eps))
-			hi[j] = satInt32(int64(v) + int64(eps))
+			ej := int64(eps.At(j))
+			lo[j] = satInt32(int64(v) - ej)
+			hi[j] = satInt32(int64(v) + ej)
 		}
 		r := s.aranges[i*2*p : (i+1)*2*p]
 		for j := 0; j < p; j++ {

@@ -88,6 +88,9 @@ func requireBothPathsEqual(t *testing.T, label string, b, a *vector.Community, o
 	for _, r := range []runner{{"one-shot", oneShot}, {"prepared", preparedRun}} {
 		soa := opts
 		soa.ReferenceScan = false
+		// One-shot joins default to the reference comparer; force the SoA
+		// streams so this leg keeps exercising the one-shot kernel path.
+		soa.SoAOneShot = true
 		ref := opts
 		ref.ReferenceScan = true
 		apS, exS, err := r.run(soa)

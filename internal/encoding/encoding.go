@@ -126,8 +126,11 @@ func EncodeB(b *vector.Community, l *Layout) *BBuffer {
 }
 
 // EncodeA builds the sorted Encd_A buffer for community a under the
-// given epsilon.
-func EncodeA(a *vector.Community, l *Layout, eps int32) *ABuffer {
+// given epsilon. Scalar callers pass vector.UniformEps; a per-dimension
+// tolerance widens dimension j by its own eps_j, which keeps the
+// no-false-miss property (each dimension's true value still lies inside
+// its widened interval, so the part sums still bracket any matching b).
+func EncodeA(a *vector.Community, l *Layout, eps vector.Eps) *ABuffer {
 	n := a.Size()
 	entries := make([]AEntry, n)
 	backing := make([]int64, 2*n*l.Parts())
@@ -141,12 +144,13 @@ func EncodeA(a *vector.Community, l *Layout, eps int32) *ABuffer {
 			var slo, shi int64
 			for j := lo; j < hi; j++ {
 				v := int64(u[j])
-				dlo := v - int64(eps)
+				e := int64(eps.At(j))
+				dlo := v - e
 				if dlo < 0 {
 					dlo = 0 // counters are non-negative, so the range is clamped at 0
 				}
 				slo += dlo
-				shi += v + int64(eps)
+				shi += v + e
 			}
 			rlo[p], rhi[p] = slo, shi
 			mn += slo

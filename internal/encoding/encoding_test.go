@@ -92,7 +92,7 @@ func TestFigure1Encoding(t *testing.T) {
 		}
 	}
 
-	ab := EncodeA(c, l, 1)
+	ab := EncodeA(c, l, vector.UniformEps(1))
 	eA := ab.Entries[0]
 	if eA.Min != 28 || eA.Max != 73 {
 		t.Errorf("encoded_Min/Max = %d/%d, want 28/73", eA.Min, eA.Max)
@@ -136,7 +136,7 @@ func TestEncodeBuffersAreSorted(t *testing.T) {
 			t.Fatal("Encd_B not ascending-sorted on encoded_ID")
 		}
 	}
-	ab := EncodeA(c, l, 1)
+	ab := EncodeA(c, l, vector.UniformEps(1))
 	for i := 1; i < len(ab.Entries); i++ {
 		if ab.Entries[i-1].Min > ab.Entries[i].Min {
 			t.Fatal("Encd_A not ascending-sorted on encoded_Min")
@@ -147,7 +147,7 @@ func TestEncodeBuffersAreSorted(t *testing.T) {
 func TestEncodeClampsRangesAtZero(t *testing.T) {
 	l, _ := NewLayout(3, 1)
 	c := &vector.Community{Name: "c", Users: []vector.Vector{{0, 1, 5}}}
-	ab := EncodeA(c, l, 2)
+	ab := EncodeA(c, l, vector.UniformEps(2))
 	e := ab.Entries[0]
 	// Per-dimension ranges: [0,2], [0,3], [3,7] -> part range [3, 12].
 	if e.RangeLo[0] != 3 || e.RangeHi[0] != 12 {
@@ -192,7 +192,7 @@ func TestEncodingNeverFalseMisses(t *testing.T) {
 		cb := &vector.Community{Name: "b", Users: []vector.Vector{b}}
 		ca := &vector.Community{Name: "a", Users: []vector.Vector{a}}
 		eB := EncodeB(cb, l).Entries[0]
-		eA := EncodeA(ca, l, eps).Entries[0]
+		eA := EncodeA(ca, l, vector.UniformEps(eps)).Entries[0]
 		if eB.ID < eA.Min || eB.ID > eA.Max {
 			return false
 		}
@@ -228,7 +228,7 @@ func TestEncodingInternalConsistency(t *testing.T) {
 		if eB.ID != sum || eB.ID != u.Sum() {
 			return false
 		}
-		eA := EncodeA(c, l, 0).Entries[0]
+		eA := EncodeA(c, l, vector.UniformEps(0)).Entries[0]
 		var lo, hi int64
 		for p := range eA.RangeLo {
 			lo += eA.RangeLo[p]
@@ -258,7 +258,7 @@ func TestPartsOverlapRejects(t *testing.T) {
 	cb := &vector.Community{Name: "b", Users: []vector.Vector{{10, 10, 0, 0}}}
 	ca := &vector.Community{Name: "a", Users: []vector.Vector{{0, 0, 10, 10}}}
 	eB := EncodeB(cb, l).Entries[0]
-	eA := EncodeA(ca, l, 1).Entries[0]
+	eA := EncodeA(ca, l, vector.UniformEps(1)).Entries[0]
 	// Same encoded_ID (20) and overlapping [Min, Max], but the parts are
 	// disjoint from the ranges: the NO OVERLAP check must fire.
 	if eB.ID < eA.Min || eB.ID > eA.Max {

@@ -24,7 +24,7 @@ func buildBuffers(t *testing.T, seed int64, n, d, parts int, eps int32) (*BBuffe
 	if err != nil {
 		t.Fatal(err)
 	}
-	return EncodeB(c, l), EncodeA(c, l, eps)
+	return EncodeB(c, l), EncodeA(c, l, vector.UniformEps(eps))
 }
 
 func buffersEqual(bb1, bb2 *BBuffer, ab1, ab2 *ABuffer) bool {

@@ -32,7 +32,7 @@ func RenderFigure1(w io.Writer) error {
 	}
 	c := &vector.Community{Name: "fig1", Users: []vector.Vector{figure1Vector}}
 	eB := encoding.EncodeB(c, layout).Entries[0]
-	eA := encoding.EncodeA(c, layout, eps).Entries[0]
+	eA := encoding.EncodeA(c, layout, vector.UniformEps(eps)).Entries[0]
 
 	var sb strings.Builder
 	sb.WriteString("Figure 1: the encoding scheme used in CSJ (eps=1, d=27)\n\n")

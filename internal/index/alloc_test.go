@@ -12,6 +12,8 @@ package index
 import (
 	"math/rand"
 	"testing"
+
+	"github.com/opencsj/csj/internal/vector"
 )
 
 func TestUpperBoundZeroAllocs(t *testing.T) {
@@ -28,7 +30,7 @@ func TestUpperBoundZeroAllocs(t *testing.T) {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sink += UpperBoundPairs(x, y, 50)
+			sink += UpperBoundPairs(x, y, vector.UniformEps(50))
 		}
 	})
 	if bytes := r.AllocedBytesPerOp(); bytes != 0 {

@@ -166,7 +166,16 @@ func eq32(a, b []int32) bool {
 // further than eps apart proves zero matches outright. Summaries with
 // different dimensionalities cannot be joined at all; the cap is
 // returned so callers fall through to the join and surface its error.
-func UpperBoundPairs(x, y *Summary, eps int32) int {
+//
+// A per-dimension tolerance generalizes the bound without touching its
+// soundness argument: relaxation 1 holds dimension by dimension — a
+// matched pair must agree within eps_i on dimension i, so dimension i's
+// bucket flow under eps_i alone still dominates the true matching — and
+// the min over dimensions of sound per-dimension bounds remains sound.
+// A vector shorter than the summarized dimensionality falls back to
+// its scalar for out-of-range dimensions (callers validate lengths
+// before joining; the bound just must never under-count).
+func UpperBoundPairs(x, y *Summary, eps vector.Eps) int {
 	ub := x.Size
 	if y.Size < ub {
 		ub = y.Size
@@ -174,9 +183,12 @@ func UpperBoundPairs(x, y *Summary, eps int32) int {
 	if x.Dim() != y.Dim() {
 		return int(ub)
 	}
+	if v := eps.Vec(); v != nil && len(v) != x.Dim() {
+		return int(ub)
+	}
 	nx, ny := int(x.Buckets), int(y.Buckets)
-	e := int64(eps)
 	for i := 0; i < x.Dim(); i++ {
+		e := int64(eps.At(i))
 		// Envelope check: if the dimension's value ranges are further
 		// than eps apart, no pair can match on it — bound 0, no
 		// histogram work.

@@ -107,11 +107,11 @@ func TestEnvelopeDisjointGivesZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ub := UpperBoundPairs(sx, sy, 10); ub != 0 {
+	if ub := UpperBoundPairs(sx, sy, vector.UniformEps(10)); ub != 0 {
 		t.Fatalf("disjoint envelopes: bound = %d, want 0", ub)
 	}
 	// A huge epsilon re-connects them; the bound caps at min size.
-	if ub := UpperBoundPairs(sx, sy, 1<<20); ub != 20 {
+	if ub := UpperBoundPairs(sx, sy, vector.UniformEps(1<<20)); ub != 20 {
 		t.Fatalf("loose epsilon: bound = %d, want 20", ub)
 	}
 }
@@ -126,7 +126,7 @@ func TestDimensionMismatchReturnsCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ub := UpperBoundPairs(sx, sy, 1); ub != 10 {
+	if ub := UpperBoundPairs(sx, sy, vector.UniformEps(1)); ub != 10 {
 		t.Fatalf("dim mismatch: bound = %d, want conservative cap 10", ub)
 	}
 }
@@ -251,12 +251,12 @@ func TestUpperBoundDominatesExactJoin(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ub := UpperBoundPairs(sb, sa, eps)
+		ub := UpperBoundPairs(sb, sa, vector.UniformEps(eps))
 		if len(res.Pairs) > ub {
 			t.Fatalf("trial %d: exact join matched %d pairs but bound is %d (d=%d szB=%d szA=%d eps=%d buckets=%d)",
 				trial, len(res.Pairs), ub, d, szB, szA, eps, buckets)
 		}
-		if ubRev := UpperBoundPairs(sa, sb, eps); len(res.Pairs) > ubRev {
+		if ubRev := UpperBoundPairs(sa, sb, vector.UniformEps(eps)); len(res.Pairs) > ubRev {
 			t.Fatalf("trial %d: reversed bound %d below matched %d", trial, ubRev, len(res.Pairs))
 		}
 	}
@@ -271,7 +271,7 @@ func TestUpperBoundTightOnIdenticalCommunities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ub := UpperBoundPairs(s, s, 0); ub != 30 {
+	if ub := UpperBoundPairs(s, s, vector.UniformEps(0)); ub != 30 {
 		t.Fatalf("self-join bound = %d, want 30", ub)
 	}
 }

@@ -116,7 +116,7 @@ func (s *Server) resolvePivotPrepared(snap *store.Snapshot, p ShardPivot, opts *
 	case p.ID != nil && p.Profile != nil:
 		return nil, http.StatusBadRequest, errors.New("pivot carries both id and profile")
 	case p.ID != nil:
-		pv, err := snap.Prepared(*p.ID, opts.Epsilon, opts.Parts)
+		pv, err := snap.PreparedSpec(*p.ID, opts.Spec())
 		if err != nil {
 			return nil, http.StatusNotFound, err
 		}
@@ -252,7 +252,7 @@ func (s *Server) handleInternalRank(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeOptionsErr(w, err)
 		return
 	}
 	snap := s.store.Snapshot()
@@ -346,7 +346,7 @@ func (s *Server) handleInternalTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeOptionsErr(w, err)
 		return
 	}
 	snap := s.store.Snapshot()
@@ -419,7 +419,7 @@ func (s *Server) handleInternalMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeOptionsErr(w, err)
 		return
 	}
 	snap := s.store.Snapshot()
@@ -450,7 +450,7 @@ func (s *Server) handleInternalMatrix(w http.ResponseWriter, r *http.Request) {
 		if pv, ok := guests[id]; ok {
 			return pv, nil
 		}
-		return snap.Prepared(id, opts.Epsilon, opts.Parts)
+		return snap.PreparedSpec(id, opts.Spec())
 	}
 	iopts := s.instrumentOptions(opts)
 	out := make([]MatrixCell, 0, len(req.Cells))

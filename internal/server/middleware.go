@@ -202,6 +202,20 @@ func (s *Server) writeJoinErr(w http.ResponseWriter, r *http.Request, err error)
 	}
 }
 
+// writeOptionsErr maps an options-payload failure: spec errors (a bad
+// epsilon vector or scorer in an otherwise well-formed request) are
+// semantic and map to 422, matching the engine-level status of the
+// same condition; anything else (unknown matcher) is a malformed
+// request, 400.
+func (s *Server) writeOptionsErr(w http.ResponseWriter, err error) {
+	var se *specError
+	if errors.As(err, &se) {
+		s.writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeErr(w, http.StatusBadRequest, err)
+}
+
 // retryAfterSeconds suggests a retry delay proportional to the budget
 // the request just exhausted (at least one second).
 func retryAfterSeconds(budget time.Duration) int {

@@ -223,7 +223,13 @@ type CommunityInfo struct {
 
 // OptionsPayload mirrors csj.Options for requests.
 type OptionsPayload struct {
-	Epsilon            int32   `json:"epsilon"`
+	Epsilon int32 `json:"epsilon"`
+	// EpsilonVec is the optional per-dimension tolerance vector
+	// (csj.Options.EpsilonVec): entry j is dimension j's epsilon.
+	// Entries must be non-negative and the length must match the
+	// communities' dimensionality; MinMax methods only. An all-equal
+	// vector is equivalent to the scalar epsilon.
+	EpsilonVec         []int32 `json:"epsilon_vec,omitempty"`
 	Parts              int     `json:"parts,omitempty"`
 	EGOThreshold       int     `json:"ego_threshold,omitempty"`
 	Matcher            string  `json:"matcher,omitempty"` // "csf" (default) or "hopcroft-karp"
@@ -231,6 +237,10 @@ type OptionsPayload struct {
 	AllowSizeImbalance bool    `json:"allow_size_imbalance,omitempty"`
 	Workers            int     `json:"workers,omitempty"`
 	P                  float64 `json:"p,omitempty"`
+	// Scorer attaches the composite scorer (csj.Options.Scorer): the
+	// reported similarity becomes the normalized weighted blend of the
+	// CSJ score, the category-overlap signal, and the centroid cosine.
+	Scorer *ScorerPayload `json:"scorer,omitempty"`
 	// ReferenceScan selects the scalar reference scan path instead of
 	// the flat SoA kernel for MinMax joins (results identical; a
 	// benchmarking/ablation switch). Config.ForceReferenceScan turns it
@@ -238,9 +248,29 @@ type OptionsPayload struct {
 	ReferenceScan bool `json:"reference_scan,omitempty"`
 }
 
+// ScorerPayload mirrors csj.ScorerSpec for requests: the blend weights
+// of the composite scorer. Weights must be non-negative and not all
+// zero; they are normalized to sum 1 server-side.
+type ScorerPayload struct {
+	CSJ      float64 `json:"csj"`
+	Category float64 `json:"category,omitempty"`
+	Cosine   float64 `json:"cosine,omitempty"`
+}
+
+// specError marks an options failure that is semantic rather than
+// syntactic — a well-formed request asking for an impossible match
+// spec (negative epsilon entries, a bad scorer). writeOptionsErr maps
+// it to 422, matching the engine-level status of the same condition,
+// while parse-level failures (unknown matcher) stay 400.
+type specError struct{ err error }
+
+func (e *specError) Error() string { return e.err.Error() }
+func (e *specError) Unwrap() error { return e.err }
+
 func (o *OptionsPayload) toOptions() (*csj.Options, error) {
 	out := &csj.Options{
 		Epsilon:            o.Epsilon,
+		EpsilonVec:         o.EpsilonVec,
 		Parts:              o.Parts,
 		EGOThreshold:       o.EGOThreshold,
 		VerifyInteger:      o.VerifyInteger,
@@ -255,6 +285,24 @@ func (o *OptionsPayload) toOptions() (*csj.Options, error) {
 		out.Matcher = csj.MatcherHopcroftKarp
 	default:
 		return nil, fmt.Errorf("unknown matcher %q", o.Matcher)
+	}
+	// Dimension-independent spec validation happens here so a bad spec
+	// fails before any store or view work; the length-vs-dimensionality
+	// check needs the communities and is enforced by the engine.
+	for i, e := range o.EpsilonVec {
+		if e < 0 {
+			return nil, &specError{fmt.Errorf("epsilon_vec entry %d is %d; entries must be >= 0", i, e)}
+		}
+	}
+	if o.Scorer != nil {
+		out.Scorer = &csj.ScorerSpec{
+			CSJWeight:      o.Scorer.CSJ,
+			CategoryWeight: o.Scorer.Category,
+			CosineWeight:   o.Scorer.Cosine,
+		}
+		if err := out.Scorer.Validate(); err != nil {
+			return nil, &specError{err}
+		}
 	}
 	return out, nil
 }
@@ -281,6 +329,10 @@ type SimilarityResponse struct {
 	ElapsedMS  float64    `json:"elapsed_ms"`
 	Events     csj.Events `json:"events"`
 	Pairs      []csj.Pair `json:"pairs,omitempty"`
+	// Blend reports the unweighted score components when the request
+	// attached a composite scorer; Similarity is then their weighted
+	// blend rather than the plain CSJ score.
+	Blend *csj.ScoreBlend `json:"blend,omitempty"`
 }
 
 // RankRequest asks for a ranking of candidates against a pivot.
@@ -550,7 +602,7 @@ func minMaxMethod(m csj.Method) bool {
 func preparedViews(snap *store.Snapshot, ids []int64, opts *csj.Options) ([]*csj.PreparedCommunity, error) {
 	out := make([]*csj.PreparedCommunity, len(ids))
 	for i, id := range ids {
-		pc, err := snap.Prepared(id, opts.Epsilon, opts.Parts)
+		pc, err := snap.PreparedSpec(id, opts.Spec())
 		if err != nil {
 			return nil, err
 		}
@@ -608,7 +660,7 @@ func indexedCandidates(snap *store.Snapshot, ids []int64, opts *csj.Options) ([]
 			Name:    e.Comm.Name,
 			Summary: sum,
 			View: func() (*csj.PreparedCommunity, error) {
-				return snap.Prepared(id, opts.Epsilon, opts.Parts)
+				return snap.PreparedSpec(id, opts.Spec())
 			},
 		}
 	}
@@ -652,7 +704,7 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeOptionsErr(w, err)
 		return
 	}
 	if req.Orient && b.Comm.Size() > a.Comm.Size() {
@@ -683,6 +735,7 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		SizeA:      res.SizeA,
 		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
 		Events:     res.Events,
+		Blend:      res.Blend,
 	}
 	if req.IncludePairs {
 		resp.Pairs = res.Pairs
@@ -731,7 +784,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeOptionsErr(w, err)
 		return
 	}
 	var ranked []csj.Ranked
@@ -740,7 +793,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		// Threshold ranking over the envelope index: candidates whose
 		// upper bound cannot reach min_similarity are pruned without
 		// resolving their prepared views.
-		pv, verr := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
+		pv, verr := snap.PreparedSpec(pivot.ID, opts.Spec())
 		var ics []csj.IndexedCandidate
 		if verr == nil {
 			ics, verr = indexedCandidates(snap, req.Candidates, opts)
@@ -751,7 +804,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		}
 		ranked, err = csj.RankAboveIndexedCtx(r.Context(), pv, ics, method, req.MinSimilarity, s.instrumentOptions(opts))
 	case req.MinSimilarity > 0:
-		pv, verr := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
+		pv, verr := snap.PreparedSpec(pivot.ID, opts.Spec())
 		var views []*csj.PreparedCommunity
 		if verr == nil {
 			views, verr = preparedViews(snap, req.Candidates, opts)
@@ -762,7 +815,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		}
 		ranked, err = csj.RankAbovePreparedCtx(r.Context(), pv, views, method, req.MinSimilarity, s.instrumentOptions(opts))
 	case minMaxMethod(method):
-		pv, verr := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
+		pv, verr := snap.PreparedSpec(pivot.ID, opts.Spec())
 		var views []*csj.PreparedCommunity
 		if verr == nil {
 			views, verr = preparedViews(snap, req.Candidates, opts)
@@ -834,13 +887,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeOptionsErr(w, err)
 		return
 	}
 	// Both top-k phases are MinMax joins, so the whole workflow runs on
 	// cached views. The indexed engine resolves views lazily: only the
 	// candidates it actually joins get encoded.
-	pv, err := snap.Prepared(pivot.ID, opts.Epsilon, opts.Parts)
+	pv, err := snap.PreparedSpec(pivot.ID, opts.Spec())
 	if err != nil {
 		s.writeJoinErr(w, r, err)
 		return
@@ -908,7 +961,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeOptionsErr(w, err)
 		return
 	}
 	// The matrix is MinMax-only; the cells run straight on cached views,

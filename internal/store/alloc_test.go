@@ -72,6 +72,50 @@ func TestStoreCacheHitPreparedApZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestStoreCacheHitSpecZeroAllocs extends the guard to spec-keyed
+// lookups: a warm PreparedSpec hit with a heterogeneous epsilon vector
+// must also be 0 allocs/op. This empirically pins the digest's stack
+// encoding buffer (matchspec.go, specDigestStack) — if the encoder or
+// canonicalizer started escaping to the heap, every warm spec-keyed
+// request would pay for it. Part of `make specguard`.
+func TestStoreCacheHitSpecZeroAllocs(t *testing.T) {
+	st := New(Config{})
+	rng := rand.New(rand.NewSource(43))
+	b := mustCreate(t, st, testCommunity("b", rng, 96, 8))
+	a := mustCreate(t, st, testCommunity("a", rng, 128, 8))
+
+	spec := csj.MatchSpec{EpsilonVec: []int32{0, 2, 1, 3, 0, 2, 4, 1}}
+	opts := &csj.Options{EpsilonVec: spec.EpsilonVec}
+	sc := csj.NewScratch()
+	var res csj.Result
+
+	warm := func(fail func(error)) {
+		snap := st.Snapshot()
+		vb, err := snap.PreparedSpec(b.ID, spec)
+		if err != nil {
+			fail(err)
+		}
+		va, err := snap.PreparedSpec(a.ID, spec)
+		if err != nil {
+			fail(err)
+		}
+		if err := csj.SimilarityPreparedInto(vb, va, csj.ApMinMax, opts, sc, &res); err != nil {
+			fail(err)
+		}
+	}
+	warm(func(err error) { t.Fatal(err) })
+
+	allocs := testing.AllocsPerRun(200, func() {
+		warm(func(err error) { panic(err) })
+	})
+	if allocs != 0 {
+		t.Errorf("warm spec-keyed hit allocates %.1f allocs/op, want 0", allocs)
+	}
+	if cs := st.CacheStats(); cs.Builds != 2 {
+		t.Errorf("builds = %d across the guard loop, want 2 (warmup only)", cs.Builds)
+	}
+}
+
 // BenchmarkStoreCacheHitPreparedAp keeps an allocation-reporting
 // benchmark alongside the hard guard so regressions show magnitude.
 func BenchmarkStoreCacheHitPreparedAp(b *testing.B) {

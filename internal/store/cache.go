@@ -7,7 +7,6 @@ import (
 	"time"
 
 	csj "github.com/opencsj/csj"
-	"github.com/opencsj/csj/internal/encoding"
 )
 
 // Observer receives prepared-view cache lifecycle events. The server's
@@ -40,14 +39,18 @@ type CacheStats struct {
 }
 
 // viewKey identifies one prepared view: a community at a specific
-// version under specific encoding options. parts is stored normalized
-// (0 resolves to the encoder default clamped to the dimensionality), so
-// requests that spell the default differently share one view.
+// version under a canonical match spec, identified by its digest
+// (csj.MatchSpec.Digest of the scorer-stripped ViewSpec). Canonical
+// digesting means requests that spell the same predicate differently —
+// parts 0 vs the explicit default, an all-equal epsilon vector vs its
+// scalar, specs differing only in scorer — share one view, while the
+// injective encoding under the hash keeps distinct specs (for example
+// epsilon vectors [1, 23] and [12, 3], which a naive string key could
+// both print as "123") on distinct entries.
 type viewKey struct {
 	id      int64
 	version uint64
-	eps     int32
-	parts   int
+	digest  csj.SpecDigest
 }
 
 // view is one cache slot. ready closes when the build finishes; until
@@ -62,8 +65,8 @@ type view struct {
 	elem  *list.Element
 }
 
-// cache is the epsilon+parts-keyed prepared-view cache with
-// singleflight build deduplication and LRU byte-capped eviction.
+// cache is the spec-digest-keyed prepared-view cache with singleflight
+// build deduplication and LRU byte-capped eviction.
 type cache struct {
 	maxBytes int64
 	obs      Observer
@@ -96,19 +99,6 @@ func newCache(maxBytes int64, obs Observer) *cache {
 	}
 }
 
-// normParts resolves the parts option the same way the encoder does, so
-// the cache key is canonical: 0 selects the default, and anything above
-// the dimensionality clamps down to it.
-func normParts(parts, dim int) int {
-	if parts == 0 {
-		parts = encoding.DefaultParts
-	}
-	if parts > dim {
-		parts = dim
-	}
-	return parts
-}
-
 // setLive records id's current version. Called under the store's
 // mutation lock on create.
 func (c *cache) setLive(id int64, version uint64) {
@@ -117,13 +107,18 @@ func (c *cache) setLive(id int64, version uint64) {
 	c.mu.Unlock()
 }
 
-// get returns the prepared view for entry e under (eps, parts),
-// building it if absent. Exactly one build runs per uncached key no
-// matter how many requests race; the others block on ready and share
-// the result. Build errors are returned to every waiter of that build
-// but not cached — the next request retries.
-func (c *cache) get(e *Entry, eps int32, parts int) (*csj.PreparedCommunity, error) {
-	k := viewKey{id: e.ID, version: e.Version, eps: eps, parts: normParts(parts, e.Comm.Dim())}
+// get returns the prepared view for entry e under the given match
+// spec, building it if absent. The key digests the scorer-stripped
+// canonical spec (views depend only on tolerance and parts), and the
+// digest computation itself is allocation-free for epsilon vectors up
+// to ~100 dimensions, keeping the warm hit path at 0 allocs/op.
+// Exactly one build runs per uncached key no matter how many requests
+// race; the others block on ready and share the result. Build errors
+// are returned to every waiter of that build but not cached — the next
+// request retries.
+func (c *cache) get(e *Entry, spec csj.MatchSpec) (*csj.PreparedCommunity, error) {
+	vs := spec.ViewSpec()
+	k := viewKey{id: e.ID, version: e.Version, digest: vs.Digest(e.Comm.Dim())}
 	c.mu.Lock()
 	if v, ok := c.views[k]; ok {
 		if v.elem != nil {
@@ -150,7 +145,7 @@ func (c *cache) get(e *Entry, eps int32, parts int) (*csj.PreparedCommunity, err
 	}
 
 	start := time.Now()
-	pc, err := csj.Precompute(e.Comm, &csj.Options{Epsilon: eps, Parts: parts})
+	pc, err := csj.Precompute(e.Comm, &csj.Options{Epsilon: vs.Epsilon, EpsilonVec: vs.EpsilonVec, Parts: vs.Parts})
 	elapsed := time.Since(start)
 	c.builds.Add(1)
 

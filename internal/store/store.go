@@ -391,17 +391,27 @@ func (sn *Snapshot) Len() int { return len(sn.entries) }
 // by every caller of this snapshot and must not be mutated.
 func (sn *Snapshot) List() []*Entry { return sn.list }
 
-// Prepared returns the cached MinMax view of community id under the
-// given epsilon and parts (0 parts selects the encoder default),
-// building and caching it on first use. Concurrent requests for the
+// PreparedSpec returns the cached MinMax view of community id under
+// the given match spec, building and caching it on first use. The view
+// is keyed by the digest of the scorer-stripped canonical spec, so
+// specs that spell the same tolerance and part count differently — or
+// differ only in scorer — share one view. Concurrent requests for the
 // same uncached view share a single build. The view belongs to the
 // entry's version: a racing delete cannot leave a stale view behind.
 //
-// The cache-hit path performs zero allocations (see `make storeguard`).
-func (sn *Snapshot) Prepared(id int64, eps int32, parts int) (*csj.PreparedCommunity, error) {
+// The cache-hit path performs zero allocations, including the spec
+// digest (see `make storeguard` and `make specguard`).
+func (sn *Snapshot) PreparedSpec(id int64, spec csj.MatchSpec) (*csj.PreparedCommunity, error) {
 	e, ok := sn.entries[id]
 	if !ok {
 		return nil, fmt.Errorf("%w %d", ErrUnknownCommunity, id)
 	}
-	return sn.store.cache.get(e, eps, parts)
+	return sn.store.cache.get(e, spec)
+}
+
+// Prepared is PreparedSpec under a scalar epsilon and part count — the
+// legacy entry point, equivalent to a spec with no epsilon vector and
+// no scorer.
+func (sn *Snapshot) Prepared(id int64, eps int32, parts int) (*csj.PreparedCommunity, error) {
+	return sn.PreparedSpec(id, csj.MatchSpec{Epsilon: eps, Parts: parts})
 }

@@ -1,0 +1,131 @@
+package vector
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNegativeEpsilon is returned by Eps.Validate when any tolerance
+// entry (scalar or per-dimension) is negative.
+var ErrNegativeEpsilon = errors.New("vector: negative epsilon")
+
+// Eps is the matching tolerance of the CSJ per-dimension condition in
+// canonical form: either one scalar applied uniformly to every
+// dimension (the paper's epsilon) or an explicit per-dimension vector.
+// The zero value is "exact match in every dimension" (epsilon 0).
+//
+// The canonical-form invariant — an all-equal vector is stored as its
+// scalar — is maintained by NewEps, which is why an all-equal
+// per-dimension request is bit-for-bit the scalar code path everywhere
+// downstream: there is no second representation to diverge.
+type Eps struct {
+	scalar int32
+	vec    []int32 // nil when uniform; aliases the caller's slice
+}
+
+// UniformEps returns the tolerance matching every dimension within e.
+func UniformEps(e int32) Eps { return Eps{scalar: e} }
+
+// NewEps builds a tolerance from a scalar default and an optional
+// per-dimension override. A nil/empty vec selects the scalar; a vec
+// whose entries are all equal canonicalizes to that scalar. A
+// heterogeneous vec is aliased, not copied — callers that mutate it
+// afterwards get undefined matching.
+func NewEps(scalar int32, vec []int32) Eps {
+	if len(vec) == 0 {
+		return Eps{scalar: scalar}
+	}
+	first := vec[0]
+	for _, v := range vec[1:] {
+		if v != first {
+			return Eps{vec: vec}
+		}
+	}
+	return Eps{scalar: first}
+}
+
+// Uniform reports whether the tolerance is a single scalar, and which.
+func (e Eps) Uniform() (int32, bool) {
+	if e.vec == nil {
+		return e.scalar, true
+	}
+	return 0, false
+}
+
+// At returns the tolerance of dimension i.
+func (e Eps) At(i int) int32 {
+	if e.vec == nil {
+		return e.scalar
+	}
+	return e.vec[i]
+}
+
+// Vec returns the per-dimension vector, or nil for a uniform tolerance.
+func (e Eps) Vec() []int32 { return e.vec }
+
+// Equal reports whether two canonical tolerances match exactly. Thanks
+// to the canonical-form invariant this is representation equality:
+// a uniform scalar never Equals a heterogeneous vector.
+func (e Eps) Equal(o Eps) bool {
+	if (e.vec == nil) != (o.vec == nil) {
+		return false
+	}
+	if e.vec == nil {
+		return e.scalar == o.scalar
+	}
+	if len(e.vec) != len(o.vec) {
+		return false
+	}
+	for i, v := range e.vec {
+		if v != o.vec[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the tolerance against profile dimensionality d:
+// every entry must be non-negative, and a per-dimension vector must
+// have exactly d entries.
+func (e Eps) Validate(d int) error {
+	if e.vec == nil {
+		if e.scalar < 0 {
+			return fmt.Errorf("%w: epsilon is %d", ErrNegativeEpsilon, e.scalar)
+		}
+		return nil
+	}
+	if len(e.vec) != d {
+		return fmt.Errorf("%w: epsilon vector has %d entries for %d dimensions",
+			ErrDimensionMismatch, len(e.vec), d)
+	}
+	for i, v := range e.vec {
+		if v < 0 {
+			return fmt.Errorf("%w: epsilon vector entry %d is %d", ErrNegativeEpsilon, i, v)
+		}
+	}
+	return nil
+}
+
+// MatchEps is MatchEpsilon generalized to a per-dimension tolerance:
+// |a_i - b_i| <= eps_i for every dimension i. The uniform case runs the
+// exact MatchEpsilon loop, so an all-equal tolerance classifies every
+// pair identically to the scalar path. Differences are taken in int64
+// for the same overflow reason as MatchEpsilon. Panics on dimension
+// mismatch between a and b (tolerance length is validated up front by
+// Eps.Validate).
+func MatchEps(a, b Vector, eps Eps) bool {
+	if eps.vec == nil {
+		return MatchEpsilon(a, b, eps.scalar)
+	}
+	if len(a) != len(b) {
+		panic("vector: MatchEps on vectors of different dimensionality")
+	}
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		e := int64(eps.vec[i])
+		if d > e || d < -e {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package vector
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestNewEpsCanonicalForm pins the canonical-form invariant: nil/empty
+// and all-equal vectors collapse to the scalar representation, so an
+// all-equal per-dimension request is structurally identical to the
+// scalar request everywhere downstream.
+func TestNewEpsCanonicalForm(t *testing.T) {
+	cases := []struct {
+		name       string
+		scalar     int32
+		vec        []int32
+		wantU      int32
+		wantUnifrm bool
+	}{
+		{"nil vec keeps scalar", 3, nil, 3, true},
+		{"empty vec keeps scalar", 5, []int32{}, 5, true},
+		{"all-equal collapses", 9, []int32{2, 2, 2}, 2, true},
+		{"single entry collapses", 9, []int32{7}, 7, true},
+		{"heterogeneous stays vector", 9, []int32{1, 2}, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := NewEps(c.scalar, c.vec)
+			u, ok := e.Uniform()
+			if ok != c.wantUnifrm || (ok && u != c.wantU) {
+				t.Fatalf("Uniform() = (%d, %v), want (%d, %v)", u, ok, c.wantU, c.wantUnifrm)
+			}
+			if c.wantUnifrm && e.Vec() != nil {
+				t.Fatal("uniform tolerance exposes a vector")
+			}
+		})
+	}
+}
+
+// TestEpsAtAndEqual pins per-dimension lookup and representation
+// equality: a uniform scalar never equals a heterogeneous vector, even
+// when they agree on some dimension.
+func TestEpsAtAndEqual(t *testing.T) {
+	v := NewEps(0, []int32{1, 4, 0})
+	for i, want := range []int32{1, 4, 0} {
+		if got := v.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	u := UniformEps(2)
+	if u.At(0) != 2 || u.At(99) != 2 {
+		t.Fatal("uniform At is not dimension-independent")
+	}
+	if v.Equal(u) || u.Equal(v) {
+		t.Fatal("vector tolerance equals a scalar one")
+	}
+	if !v.Equal(NewEps(0, []int32{1, 4, 0})) {
+		t.Fatal("equal vectors do not compare equal")
+	}
+	if v.Equal(NewEps(0, []int32{1, 4, 1})) {
+		t.Fatal("differing vectors compare equal")
+	}
+	if v.Equal(NewEps(0, []int32{1, 4})) {
+		t.Fatal("different-length vectors compare equal")
+	}
+	if !UniformEps(3).Equal(NewEps(0, []int32{3, 3})) {
+		t.Fatal("all-equal vector does not canonicalize to its scalar")
+	}
+}
+
+// TestEpsValidate pins the validation errors and their sentinel
+// wrapping — the server's 422 bodies surface these messages.
+func TestEpsValidate(t *testing.T) {
+	if err := UniformEps(-1).Validate(3); !errors.Is(err, ErrNegativeEpsilon) {
+		t.Fatalf("negative scalar: %v, want ErrNegativeEpsilon", err)
+	}
+	if err := NewEps(0, []int32{1, 2}).Validate(3); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("length mismatch: %v, want ErrDimensionMismatch", err)
+	}
+	if err := NewEps(0, []int32{1, -2, 3}).Validate(3); !errors.Is(err, ErrNegativeEpsilon) {
+		t.Fatalf("negative entry: %v, want ErrNegativeEpsilon", err)
+	}
+	if err := NewEps(0, []int32{1, 0, 3}).Validate(3); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+	if err := UniformEps(0).Validate(0); err != nil {
+		t.Fatalf("zero-dim scalar rejected: %v", err)
+	}
+}
+
+// TestMatchEpsUniformEquivalence: the uniform path must classify every
+// pair exactly like the scalar MatchEpsilon predicate.
+func TestMatchEpsUniformEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(8)
+		a, b := make(Vector, d), make(Vector, d)
+		for i := 0; i < d; i++ {
+			a[i] = rng.Int31n(20)
+			b[i] = rng.Int31n(20)
+		}
+		eps := rng.Int31n(5)
+		if got, want := MatchEps(a, b, UniformEps(eps)), MatchEpsilon(a, b, eps); got != want {
+			t.Fatalf("a=%v b=%v eps=%d: MatchEps=%v MatchEpsilon=%v", a, b, eps, got, want)
+		}
+		vec := make([]int32, d)
+		for i := range vec {
+			vec[i] = eps
+		}
+		if got, want := MatchEps(a, b, NewEps(0, vec)), MatchEpsilon(a, b, eps); got != want {
+			t.Fatalf("all-equal vec diverges from scalar: a=%v b=%v eps=%d", a, b, eps)
+		}
+	}
+}
+
+// TestMatchEpsPerDimension: each dimension is judged by its own
+// tolerance, and the int64 difference never wraps on extremes.
+func TestMatchEpsPerDimension(t *testing.T) {
+	eps := NewEps(0, []int32{0, 5, 2})
+	if !MatchEps(Vector{7, 10, 3}, Vector{7, 5, 1}, eps) {
+		t.Fatal("in-tolerance pair rejected")
+	}
+	if MatchEps(Vector{7, 10, 3}, Vector{8, 10, 3}, eps) {
+		t.Fatal("dimension 0 (eps 0) accepted a difference of 1")
+	}
+	if MatchEps(Vector{7, 10, 3}, Vector{7, 10, 6}, eps) {
+		t.Fatal("dimension 2 (eps 2) accepted a difference of 3")
+	}
+	// Opposite int32 extremes are 2^32-1 apart; int32 subtraction would
+	// wrap to -1 and falsely match under any small tolerance.
+	wide := NewEps(0, []int32{5, 5})
+	if MatchEps(Vector{math.MaxInt32, 0}, Vector{math.MinInt32, 0}, wide) {
+		t.Fatal("extreme opposites matched: the per-dimension diff overflowed")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"github.com/opencsj/csj/internal/core"
+	"github.com/opencsj/csj/internal/ego"
 )
 
 // PreparedCommunity is a community with its MinMax encodings cached for
@@ -15,6 +17,12 @@ import (
 type PreparedCommunity struct {
 	p    *core.Prepared
 	name string
+
+	// centroidOnce/centroidVal lazily cache the normalized centroid the
+	// composite scorer's cosine signal reads. Computed on the first
+	// scored join only — unscored workloads never pay the O(n·d) pass.
+	centroidOnce sync.Once
+	centroidVal  []float64
 }
 
 // Name returns the community's name.
@@ -22,6 +30,19 @@ func (pc *PreparedCommunity) Name() string { return pc.name }
 
 // Size returns the community's size.
 func (pc *PreparedCommunity) Size() int { return pc.p.Size() }
+
+// Community returns the underlying community (shared, not copied).
+func (pc *PreparedCommunity) Community() *Community {
+	return fromInternal(pc.p.Community())
+}
+
+// centroid returns the cached normalized centroid (see ScorerSpec).
+func (pc *PreparedCommunity) centroid() []float64 {
+	pc.centroidOnce.Do(func() {
+		pc.centroidVal = ego.NormalizedCentroid(pc.p.Community())
+	})
+	return pc.centroidVal
+}
 
 // Precompute encodes a community once for repeated MinMax joins under
 // the given options (Epsilon and Parts are used). The paper's broadcast
@@ -33,7 +54,7 @@ func Precompute(c *Community, opts *Options) (*PreparedCommunity, error) {
 	if err := ic.Validate(0); err != nil {
 		return nil, err
 	}
-	p, err := core.Prepare(ic, core.Options{Eps: o.Epsilon, Parts: o.Parts})
+	p, err := core.Prepare(ic, core.Options{Eps: o.Epsilon, EpsVec: o.EpsilonVec, Parts: o.Parts})
 	if err != nil {
 		return nil, err
 	}

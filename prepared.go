@@ -57,12 +57,15 @@ func similarityPreparedInto(ctx context.Context, b, a *PreparedCommunity, method
 		return fmt.Errorf("%w: SimilarityPrepared supports Ap-MinMax and Ex-MinMax, got %v",
 			ErrUnknownMethod, method)
 	}
+	if err := o.Scorer.validate(); err != nil {
+		return err
+	}
 	if !o.AllowSizeImbalance {
 		if err := vector.CheckSizes(b.p.Community(), a.p.Community()); err != nil {
 			return fmt.Errorf("%w (pass AllowSizeImbalance to override)", err)
 		}
 	}
-	copts := core.Options{Eps: o.Epsilon, Parts: o.Parts,
+	copts := core.Options{Eps: o.Epsilon, EpsVec: o.EpsilonVec, Parts: o.Parts,
 		Matcher: o.Matcher.matcher(), DisableSkipOffset: o.DisableSkipOffset,
 		ReferenceScan: o.ReferenceScan,
 		Done:          ctx.Done()}
@@ -92,6 +95,8 @@ func similarityPreparedInto(ctx context.Context, b, a *PreparedCommunity, method
 		p = o.P
 	}
 	out.Similarity = p * float64(len(pairs)) / float64(b.Size())
+	out.Blend = nil // out is reused; clear any stale blend first
+	applyScorerPrepared(o, b, a, out)
 	if o.OnJoinEvents != nil {
 		o.OnJoinEvents(out.Events)
 	}

@@ -126,7 +126,7 @@ func RankPreparedCtx(ctx context.Context, pivot *PreparedCommunity, candidates [
 		if bounds != nil && bounds[i] == 0 {
 			// The index proves no user pair can match under epsilon:
 			// the join's answer is exactly zero, no scan needed.
-			out[i].Result = zeroResult(method, b, a)
+			out[i].Result = zeroResult(method, b, a, &o)
 			return nil
 		}
 		res, err := similarityPrepared(ctx, b, a, method, &o, scratches.get(w))
@@ -186,7 +186,7 @@ func rankBounds(pivot *PreparedCommunity, candidates []*PreparedCommunity, o *Op
 			continue
 		}
 		stats.BoundChecks++
-		bounds[i] = UpperBoundPairs(ps, cs, o.Epsilon)
+		bounds[i] = upperBoundPairsOpts(ps, cs, o)
 		if bounds[i] == 0 {
 			stats.Pruned++
 		} else {
@@ -196,9 +196,15 @@ func rankBounds(pivot *PreparedCommunity, candidates []*PreparedCommunity, o *Op
 	return bounds, stats, nil
 }
 
-// zeroResult synthesizes the provably-zero answer of a pruned probe.
-func zeroResult(method Method, b, a *PreparedCommunity) *Result {
-	return &Result{Method: method, SizeB: b.Size(), SizeA: a.Size()}
+// zeroResult synthesizes the answer of a pruned probe: zero pairs,
+// hence a zero CSJ score. With a composite scorer attached the category
+// and cosine components are still live — they are functions of the
+// communities alone — so the blend is applied exactly as a real join
+// would have.
+func zeroResult(method Method, b, a *PreparedCommunity, o *Options) *Result {
+	out := &Result{Method: method, SizeB: b.Size(), SizeA: a.Size()}
+	applyScorerPrepared(o, b, a, out)
+	return out
 }
 
 // sortRanked orders entries by descending similarity with an explicit
