@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench faults metricsguard storeguard indexguard kernelguard specguard fuzzsmoke crashguard clusterguard routecheck
+.PHONY: check vet build test race bench faults metricsguard storeguard indexguard kernelguard specguard fuzzsmoke crashguard clusterguard faultguard routecheck
 
 # check is the CI gate: vet, build, and the full test suite under the
 # race detector.
@@ -105,6 +105,16 @@ crashguard:
 # pre-kill baseline, and the coordinator must leak no goroutines/fds.
 clusterguard:
 	$(GO) run ./cmd/clusterguard
+
+# faultguard is the disk-fault exploration gate (DESIGN.md §16): it
+# enumerates every mutating filesystem operation of a scripted
+# store+WAL workload, injects each fault class (transient EIO, sticky
+# ENOSPC, short write) at each point, and fails on any silent loss of
+# an acknowledged write, any recovered refused-by-poison write, or any
+# refusal to reopen without -repair guidance. Deterministic: seeded
+# content, no wall-clock sleeps, one process.
+faultguard:
+	$(GO) run ./cmd/faultguard
 
 # routecheck asserts every registered HTTP route — shard server and
 # cluster coordinator — has a metrics route-label entry, so no endpoint

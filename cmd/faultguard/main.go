@@ -1,0 +1,440 @@
+// Command faultguard is the disk-fault exploration harness (`make
+// faultguard`, DESIGN.md §16): it runs a deterministic store workload
+// (creates, deletes, one explicit checkpoint) over the durable log
+// once with a transparent faultfs.Inject to enumerate every mutating
+// filesystem operation the workload performs, then re-runs the
+// workload once per (operation index × fault class), arming exactly
+// one injected failure — transient EIO, sticky ENOSPC, or a short
+// write — at that point. After each faulted run it reopens the
+// directory with a clean filesystem and holds recovery to the
+// durability contract:
+//
+//   - every acknowledged mutation is recovered (no silent loss);
+//   - no mutation refused by an already-poisoned log is recovered;
+//   - a mutation that FAILED while the log was still healthy is a
+//     ghost: its frame may have reached the disk (write succeeded,
+//     fsync failed), so recovery may legitimately include it — the
+//     recovered image must equal one of the states reachable by
+//     replaying the acknowledged sequence with each ghost either
+//     applied or not;
+//   - recovery never refuses to open: injected I/O errors must leave
+//     at worst a torn tail, never mid-log corruption (and if open does
+//     refuse, the error must at least carry -repair guidance);
+//   - a log poisoned mid-run refuses every later mutation with
+//     durable.ErrPoisoned and still closes cleanly (the drain path).
+//
+// Any violation exits non-zero.
+//
+// Usage:
+//
+//	faultguard [-v] [-keep]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/durable"
+	"github.com/opencsj/csj/internal/faultfs"
+	"github.com/opencsj/csj/internal/store"
+)
+
+// step is one scripted workload action. Deletes name the put whose
+// acknowledged id they target; if that put was never acknowledged in a
+// faulted run, the delete is skipped (there is nothing to delete).
+type step struct {
+	kind string // "put", "delete", "checkpoint"
+	name string
+}
+
+// script is the fixed workload. It is deliberately small — every
+// additional append multiplies the experiment count — but crosses a
+// checkpoint so rotation, checkpoint install, and segment GC all
+// appear among the injection points, with appends and a delete on both
+// sides of the rotation.
+var script = []step{
+	{kind: "put", name: "alpha"},
+	{kind: "put", name: "bravo"},
+	{kind: "put", name: "charlie"},
+	{kind: "put", name: "delta"},
+	{kind: "delete", name: "bravo"},
+	{kind: "checkpoint"},
+	{kind: "put", name: "echo"},
+	{kind: "put", name: "foxtrot"},
+	{kind: "delete", name: "echo"},
+	{kind: "put", name: "golf"},
+}
+
+// mkComm builds the community a named put ingests. Content is a pure
+// function of the name, so a ghost frame recovered from disk is
+// byte-identical to what the candidate-state replay predicts.
+func mkComm(name string) *csj.Community {
+	var seed int64
+	for _, b := range []byte(name) {
+		seed = seed*131 + int64(b)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	users := make([]csj.Vector, 6)
+	for i := range users {
+		u := make([]int32, 3)
+		for j := range u {
+			u[j] = rng.Int31n(12)
+		}
+		users[i] = u
+	}
+	return &csj.Community{Name: name, Category: -1, Users: users}
+}
+
+type outcome int
+
+const (
+	// ackedMut was acknowledged: recovery MUST include it.
+	ackedMut outcome = iota
+	// ambiguousMut failed while the log was healthy: its frame may or
+	// may not have reached the disk — recovery may include it.
+	ambiguousMut
+	// refusedMut was rejected by an already-poisoned log before any
+	// disk traffic: recovery MUST NOT include it.
+	refusedMut
+)
+
+// mutation is one issued store mutation with the identity the store
+// assigned (mirrored by the harness — ids and versions only ratchet on
+// acknowledged mutations, exactly like store.Create/Delete).
+type mutation struct {
+	kind    string // "put" | "delete"
+	id      int64
+	version uint64
+	name    string
+	users   int
+	outcome outcome
+}
+
+// runResult is everything one workload execution observed.
+type runResult struct {
+	openErr    error
+	muts       []mutation
+	poisoned   bool
+	violations []string // contract violations caught during the run itself
+}
+
+// runWorkload executes the script against a fresh store+log in dir
+// over fsys, classifying every mutation's outcome.
+func runWorkload(dir string, fsys faultfs.FS) runResult {
+	var res runResult
+	l, err := durable.Open(dir, durable.Options{
+		Fsync:           durable.FsyncAlways,
+		CheckpointEvery: -1, // background checkpoints off: the op trace must be deterministic
+		FS:              fsys,
+	})
+	if err != nil {
+		// Open failing is a clean fail-stop: nothing was acknowledged.
+		res.openErr = err
+		return res
+	}
+	st := store.New(store.Config{Persistence: l, Seed: l.Seed()})
+
+	// Mirror of the store's id/version assignment: both ratchet only on
+	// acknowledged mutations, so the harness knows the exact identity a
+	// failed (ghost) append carried.
+	simID, simV := int64(0), uint64(0)
+	ackedID := map[string]int64{}
+
+	for _, sp := range script {
+		switch sp.kind {
+		case "put":
+			id, v := simID+1, simV+1
+			pre := l.Poisoned()
+			e, err := st.Create(mkComm(sp.name))
+			switch {
+			case err == nil:
+				if pre {
+					res.violations = append(res.violations,
+						fmt.Sprintf("poisoned log acknowledged put %q", sp.name))
+				}
+				if e.ID != id || e.Version != v {
+					res.violations = append(res.violations,
+						fmt.Sprintf("harness drift: put %q acked as id=%d v=%d, predicted id=%d v=%d",
+							sp.name, e.ID, e.Version, id, v))
+				}
+				res.muts = append(res.muts, mutation{"put", id, v, sp.name, 6, ackedMut})
+				simID, simV = id, v
+				ackedID[sp.name] = id
+			case pre:
+				if !errors.Is(err, durable.ErrPoisoned) {
+					res.violations = append(res.violations,
+						fmt.Sprintf("poisoned log refused put %q with %v, want durable.ErrPoisoned", sp.name, err))
+				}
+				res.muts = append(res.muts, mutation{"put", id, v, sp.name, 6, refusedMut})
+			default:
+				res.muts = append(res.muts, mutation{"put", id, v, sp.name, 6, ambiguousMut})
+			}
+
+		case "delete":
+			id, ok := ackedID[sp.name]
+			if !ok {
+				continue // the targeted put never landed in this run
+			}
+			v := simV + 1
+			pre := l.Poisoned()
+			done, err := st.Delete(id)
+			switch {
+			case err == nil && done:
+				if pre {
+					res.violations = append(res.violations,
+						fmt.Sprintf("poisoned log acknowledged delete of %q", sp.name))
+				}
+				res.muts = append(res.muts, mutation{"delete", id, v, sp.name, 0, ackedMut})
+				simV = v
+				delete(ackedID, sp.name)
+			case err == nil && !done:
+				res.violations = append(res.violations,
+					fmt.Sprintf("harness drift: acknowledged community %q missing at delete time", sp.name))
+			case pre:
+				if !errors.Is(err, durable.ErrPoisoned) {
+					res.violations = append(res.violations,
+						fmt.Sprintf("poisoned log refused delete of %q with %v, want durable.ErrPoisoned", sp.name, err))
+				}
+				res.muts = append(res.muts, mutation{"delete", id, v, sp.name, 0, refusedMut})
+			default:
+				res.muts = append(res.muts, mutation{"delete", id, v, sp.name, 0, ambiguousMut})
+			}
+
+		case "checkpoint":
+			// Any error is acceptable here — an aborted rotation or failed
+			// install must leave the WAL authoritative, which the recovery
+			// check below verifies.
+			_ = st.Checkpoint()
+		}
+	}
+
+	res.poisoned = l.Poisoned()
+	if err := st.Close(); err != nil && res.poisoned {
+		// The drain path: a poisoned log already surfaced its failure to
+		// every refused writer, so shutdown must not fail over it again.
+		res.violations = append(res.violations,
+			fmt.Sprintf("closing a poisoned store failed: %v (drain-for-repair must shut down cleanly)", err))
+	}
+	return res
+}
+
+// entKey is the identity recovery must reproduce per community.
+type entKey struct {
+	version uint64
+	name    string
+	users   int
+}
+
+func recoveredMap(seed *store.Seed) map[int64]entKey {
+	m := make(map[int64]entKey, len(seed.Entries))
+	for _, e := range seed.Entries {
+		m[e.ID] = entKey{e.Version, e.Comm.Name, len(e.Comm.Users)}
+	}
+	return m
+}
+
+// candidate replays the issued mutation sequence with the ambiguous
+// (ghost) mutations selected by the include bitmask applied and the
+// rest dropped. Acknowledged mutations always apply; refused ones
+// never do. Replay order matches issue order, so a ghost put whose id
+// was reused by a later acknowledged put is shadowed exactly as the
+// WAL's last-write-wins replay shadows it.
+func candidate(muts []mutation, include uint) map[int64]entKey {
+	m := map[int64]entKey{}
+	ghost := 0
+	for _, mu := range muts {
+		apply := false
+		switch mu.outcome {
+		case ackedMut:
+			apply = true
+		case ambiguousMut:
+			apply = include&(1<<ghost) != 0
+			ghost++
+		}
+		if !apply {
+			continue
+		}
+		if mu.kind == "put" {
+			m[mu.id] = entKey{mu.version, mu.name, mu.users}
+		} else {
+			delete(m, mu.id)
+		}
+	}
+	return m
+}
+
+func mapsEqual(a, b map[int64]entKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtMap(m map[int64]entKey) string {
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d:%s@v%d", id, m[id].name, m[id].version)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// verifyRecovery reopens dir with a clean filesystem and checks the
+// recovered image against the candidate states the run could have
+// left behind.
+func verifyRecovery(dir string, res runResult) error {
+	l2, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		hint := ""
+		if !strings.Contains(err.Error(), "-repair") {
+			hint = " — and the error carries no -repair guidance"
+		}
+		return fmt.Errorf("recovery refused to open: %v%s (injected I/O errors must leave at worst a torn tail, never corruption)", err, hint)
+	}
+	defer l2.Close()
+	got := recoveredMap(l2.Seed())
+
+	ghosts := 0
+	for _, mu := range res.muts {
+		if mu.outcome == ambiguousMut {
+			ghosts++
+		}
+	}
+	if ghosts > 16 {
+		return fmt.Errorf("%d ambiguous mutations — candidate enumeration would explode (harness bug: a single armed fault cannot strand this many)", ghosts)
+	}
+	for inc := uint(0); inc < 1<<ghosts; inc++ {
+		if mapsEqual(got, candidate(res.muts, inc)) {
+			return nil
+		}
+	}
+	return fmt.Errorf("recovered state matches none of the %d reachable candidates: got %s, acknowledged-only state is %s",
+		1<<ghosts, fmtMap(got), fmtMap(candidate(res.muts, 0)))
+}
+
+// summarize renders one run's outcome tallies for -v output.
+func summarize(res runResult) string {
+	var acked, amb, ref int
+	for _, mu := range res.muts {
+		switch mu.outcome {
+		case ackedMut:
+			acked++
+		case ambiguousMut:
+			amb++
+		case refusedMut:
+			ref++
+		}
+	}
+	s := fmt.Sprintf("acked %d, ghost %d, refused %d", acked, amb, ref)
+	if res.openErr != nil {
+		s = "open failed cleanly"
+	}
+	if res.poisoned {
+		s += ", poisoned"
+	}
+	return s
+}
+
+func main() {
+	var (
+		verbose = flag.Bool("v", false, "log every experiment, not just failures")
+		keep    = flag.Bool("keep", false, "keep the scratch directory on exit")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("faultguard ")
+
+	scratch, err := os.MkdirTemp("", "faultguard-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*keep {
+		defer os.RemoveAll(scratch)
+	}
+
+	// Phase 1: run the workload clean to enumerate the injection points.
+	// The workload is deterministic, so every faulted run performs the
+	// identical operation sequence up to its armed point.
+	inj := faultfs.NewInject(faultfs.OS)
+	clean := runWorkload(filepath.Join(scratch, "clean"), inj)
+	if clean.openErr != nil {
+		log.Fatalf("clean run failed to open: %v", clean.openErr)
+	}
+	for _, v := range clean.violations {
+		log.Fatalf("clean run: %s", v)
+	}
+	for _, mu := range clean.muts {
+		if mu.outcome != ackedMut {
+			log.Fatalf("clean run did not acknowledge %s %q", mu.kind, mu.name)
+		}
+	}
+	if err := verifyRecovery(filepath.Join(scratch, "clean"), clean); err != nil {
+		log.Fatalf("clean run: %v", err)
+	}
+	trace := inj.Trace()
+	points := inj.Ops()
+	log.Printf("workload enumerates %d injection points (%d mutations, 1 checkpoint)", points, len(clean.muts))
+
+	// Phase 2: one experiment per (point × class). EIO is one-shot (a
+	// transient error — the fsync-fail-then-success shape when it lands
+	// on a sync); ENOSPC is sticky (a disk that stays full); ShortWrite
+	// is the torn-frame shape.
+	classes := []faultfs.Fault{
+		{Class: faultfs.EIO},
+		{Class: faultfs.ENOSPC, Sticky: true},
+		{Class: faultfs.ShortWrite},
+	}
+	var failures []string
+	experiments := 0
+	for at := int64(1); at <= points; at++ {
+		op := trace[at-1]
+		for _, cl := range classes {
+			experiments++
+			f := cl
+			f.At = at
+			sticky := ""
+			if f.Sticky {
+				sticky = " sticky"
+			}
+			label := fmt.Sprintf("point %d (%s %s) × %s%s", at, op.Op, filepath.Base(op.Path), f.Class, sticky)
+			dir := filepath.Join(scratch, fmt.Sprintf("p%03d-%s", at, f.Class))
+			einj := faultfs.NewInject(faultfs.OS)
+			einj.Arm(&f)
+			res := runWorkload(dir, einj)
+			errs := append([]string(nil), res.violations...)
+			if err := verifyRecovery(dir, res); err != nil {
+				errs = append(errs, err.Error())
+			}
+			if len(errs) > 0 {
+				failures = append(failures, label+": "+strings.Join(errs, "; "))
+			} else if *verbose {
+				log.Printf("ok: %s — %s", label, summarize(res))
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			log.Printf("FAIL %s", f)
+		}
+		log.Fatalf("%d/%d experiments violated the durability contract", len(failures), experiments)
+	}
+	log.Printf("PASS: %d experiments across %d injection points — zero silent-loss, zero unguided refusals", experiments, points)
+}

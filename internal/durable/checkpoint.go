@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/faultfs"
 	"github.com/opencsj/csj/internal/store"
 )
 
@@ -26,8 +27,11 @@ import (
 // leave a .tmp behind, never a half-valid checkpoint under the final
 // name.
 
-// writeCheckpoint durably installs seed as checkpoint-<seq>.
-func writeCheckpoint(dir string, seq uint64, seed *store.Seed) error {
+// writeCheckpoint durably installs seed as checkpoint-<seq>. Every
+// mutating operation goes through fs; a failure at any point leaves
+// at worst a .tmp sibling (swept on open) — the WAL is untouched, so
+// checkpoint failures are return-and-continue, never poison.
+func writeCheckpoint(fs faultfs.FS, dir string, seq uint64, seed *store.Seed) error {
 	var body bytes.Buffer
 	body.WriteString(ckptMagic)
 	var hdr [28]byte
@@ -56,7 +60,7 @@ func writeCheckpoint(dir string, seq uint64, seed *store.Seed) error {
 
 	final := filepath.Join(dir, ckptName(seq))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("durable: creating checkpoint temp: %w", err)
 	}
@@ -68,14 +72,14 @@ func writeCheckpoint(dir string, seq uint64, seed *store.Seed) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return fmt.Errorf("durable: writing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, final); err != nil {
+		fs.Remove(tmp)
 		return fmt.Errorf("durable: installing checkpoint: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fs, dir)
 }
 
 // loadCheckpoint reads and validates checkpoint-<seq>, returning the

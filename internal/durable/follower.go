@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"github.com/opencsj/csj/internal/faultfs"
 )
 
 // Follower mirrors a leader's durable log directory byte-for-byte over
@@ -27,10 +30,21 @@ type Follower struct {
 	leader string // base URL, no trailing slash
 	client *http.Client
 	logf   func(format string, args ...any)
+	fs     faultfs.FS
+
+	// backoffMax caps the jittered-exponential retry delay of Run;
+	// tests shrink it (and seed rng) to pin the schedule.
+	backoffMax time.Duration
+	rng        *rand.Rand // jitter source; only Run's goroutine touches it
 
 	mu sync.Mutex
 	st FollowerStatus
 }
+
+// defaultFollowerBackoffMax bounds how long a follower waits between
+// retries against a down leader: long enough to stop hammering it,
+// short enough to resume promptly when it returns.
+const defaultFollowerBackoffMax = 5 * time.Second
 
 // FollowerStatus reports replication progress, served by csjserve's
 // follow mode so operators (and clusterguard) can see catch-up state.
@@ -65,7 +79,18 @@ func NewFollower(dir, leaderURL string, client *http.Client, logf func(format st
 	for len(leaderURL) > 0 && leaderURL[len(leaderURL)-1] == '/' {
 		leaderURL = leaderURL[:len(leaderURL)-1]
 	}
-	f := &Follower{dir: dir, leader: leaderURL, client: client, logf: logf}
+	f := &Follower{
+		dir:        dir,
+		leader:     leaderURL,
+		client:     client,
+		logf:       logf,
+		fs:         faultfs.OS,
+		backoffMax: defaultFollowerBackoffMax,
+		// A fixed seed is fine: jitter exists to de-correlate a follower's
+		// retries from its own poll cadence (and keep tests deterministic),
+		// not to be unpredictable.
+		rng: rand.New(rand.NewSource(1)),
+	}
 	f.st.LeaderURL = leaderURL
 	return f, nil
 }
@@ -79,22 +104,54 @@ func (f *Follower) Status() FollowerStatus {
 
 // Run polls SyncOnce every interval until ctx is done. Individual
 // round failures are logged and retried — a follower's job is to keep
-// trying until its leader comes back or it gets promoted.
+// trying until its leader comes back or it gets promoted — but
+// consecutive failures back off with bounded jittered-exponential
+// delays (the same retry discipline as the cluster coordinator's shard
+// fetches) instead of re-polling a down or flapping leader at full
+// cadence. The first clean round snaps back to the plain interval.
 func (f *Follower) Run(ctx context.Context, interval time.Duration) {
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	failures := 0
 	for {
 		if err := f.SyncOnce(ctx); err != nil && ctx.Err() == nil {
+			failures++
 			if f.logf != nil {
-				f.logf("follower: sync: %v", err)
+				f.logf("follower: sync (failure %d): %v", failures, err)
+			}
+		} else {
+			failures = 0
+		}
+		d := interval
+		if failures > 0 {
+			if b := f.backoffDelay(interval, failures); b > d {
+				d = b
 			}
 		}
+		t := time.NewTimer(d)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
 		case <-t.C:
 		}
 	}
+}
+
+// backoffDelay returns the delay before retry n (1-based):
+// min(base<<(n-1), backoffMax) plus full jitter of up to the same
+// magnitude, so a retrying follower never locks onto a rhythm that
+// keeps hitting the leader at its worst moment.
+func (f *Follower) backoffDelay(base time.Duration, n int) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base
+	for i := 1; i < n && d < f.backoffMax; i++ {
+		d *= 2
+	}
+	if d > f.backoffMax {
+		d = f.backoffMax
+	}
+	return d + time.Duration(f.rng.Int63n(int64(d)+1))
 }
 
 // SyncOnce performs one replication round: fetch the leader's ship
@@ -137,7 +194,7 @@ func (f *Follower) SyncOnce(ctx context.Context) (err error) {
 	if st.HasCheckpoint {
 		// Same GC the leader runs after a checkpoint commit: everything
 		// below the checkpoint is superseded by it.
-		removeBelow(f.dir, st.CheckpointSeq)
+		removeBelow(f.fs, f.dir, st.CheckpointSeq)
 	}
 	f.mu.Lock()
 	f.st.BytesMirrored += pulled
@@ -193,7 +250,7 @@ func (f *Follower) mirrorCheckpoint(ctx context.Context, seq uint64) error {
 		return fmt.Errorf("durable: checkpoint %d: HTTP %d", seq, resp.StatusCode)
 	}
 	tmp := path + ".tmp"
-	out, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	out, err := f.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -205,14 +262,14 @@ func (f *Follower) mirrorCheckpoint(ctx context.Context, seq uint64) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		f.fs.Remove(tmp)
 		return fmt.Errorf("durable: writing checkpoint %d: %w", seq, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := f.fs.Rename(tmp, path); err != nil {
+		f.fs.Remove(tmp)
 		return err
 	}
-	return syncDir(f.dir)
+	return syncDir(f.fs, f.dir)
 }
 
 // mirrorSegment catches the local copy of segment seq up to the size
@@ -225,7 +282,7 @@ func (f *Follower) mirrorSegment(ctx context.Context, seg SegmentInfo) (int64, e
 	path := filepath.Join(f.dir, segName(seg.Seq))
 	// O_APPEND: resumed pulls must land at the local tail, not at file
 	// position 0 — each HTTP range starts where the local copy ends.
-	out, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	out, err := f.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,149 @@
+package durable
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/opencsj/csj/internal/store"
+)
+
+// TestFollowerBackoffDelayBoundsAndGrowth pins the retry schedule:
+// exponential doubling from the base, capped at backoffMax, with full
+// jitter never more than doubling the pre-jitter delay.
+func TestFollowerBackoffDelayBoundsAndGrowth(t *testing.T) {
+	f, err := NewFollower(t.TempDir(), "http://unused", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 10 * time.Millisecond
+	for n := 1; n <= 12; n++ {
+		want := base
+		for i := 1; i < n && want < f.backoffMax; i++ {
+			want *= 2
+		}
+		if want > f.backoffMax {
+			want = f.backoffMax
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := f.backoffDelay(base, n)
+			if d < want || d > 2*want {
+				t.Fatalf("backoffDelay(base, %d) = %v, want in [%v, %v]", n, d, want, 2*want)
+			}
+		}
+	}
+	// The cap holds even for absurd failure counts (no overflow).
+	if d := f.backoffDelay(base, 1_000_000); d > 2*f.backoffMax {
+		t.Errorf("backoffDelay at huge n = %v, want <= %v", d, 2*f.backoffMax)
+	}
+}
+
+// flakyHandler fails whole HTTP requests in a deterministic pattern:
+// four of every seven get a 502, then three succeed in a row. The
+// failure bursts interrupt multi-request rounds partway through (after
+// the status fetch succeeded, mid-segment-tail), while the success
+// runs let interrupted rounds eventually resume and finish.
+type flakyHandler struct {
+	inner http.Handler
+	n     atomic.Int64
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.n.Add(1)%7 < 4 {
+		http.Error(w, "leader flapping", http.StatusBadGateway)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// TestFollowerFlappingLeaderNeverCorruptsMirror (satellite 3): a
+// leader that fails most requests — including mid-round, after the
+// status fetch succeeded — must slow the follower down (backoff), not
+// corrupt the mirror: once the leader stabilizes, promotion over the
+// mirrored directory must recover the leader's exact store image.
+func TestFollowerFlappingLeaderNeverCorruptsMirror(t *testing.T) {
+	leaderDir := t.TempDir()
+	l := openLog(t, leaderDir, Options{Fsync: FsyncOff, CheckpointEvery: -1})
+	st := store.New(store.Config{Persistence: l, Seed: l.Seed()})
+	for i := 0; i < 5; i++ {
+		if _, err := st.Create(testComm(fmt.Sprintf("pre%d", i), int64(i), 12, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	flaky := &flakyHandler{inner: shipMux(t, l)}
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	followDir := t.TempDir()
+	f, err := NewFollower(followDir, srv.URL, srv.Client(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny backoff cap keeps the test fast while still exercising the
+	// exponential path (rounds fail often enough to stack failures).
+	f.backoffMax = 5 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.Run(ctx, time.Millisecond)
+	}()
+
+	// Keep mutating the leader while the follower fights the flapping:
+	// a checkpoint (rotation + GC) lands mid-stream too.
+	for i := 0; i < 5; i++ {
+		if _, err := st.Create(testComm(fmt.Sprintf("live%d", i), int64(100+i), 12, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Create(testComm(fmt.Sprintf("post%d", i), int64(200+i), 12, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait for a fully caught-up round against the final leader state.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		fst := f.Status()
+		if fst.CaughtUp && fst.LastError == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v", fst)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promotion: ordinary recovery over the mirror must yield the
+	// leader's exact image — no torn frames, no stale segments, nothing
+	// lost to the interrupted rounds.
+	leader2 := openLog(t, leaderDir, Options{Fsync: FsyncOff})
+	defer leader2.Close()
+	promoted := openLog(t, followDir, Options{Fsync: FsyncOff})
+	defer promoted.Close()
+	if tr := promoted.Recovery().TruncatedRecords; tr != 0 {
+		t.Errorf("promotion truncated %d records — the flapping leader tore the mirror", tr)
+	}
+	if !reflect.DeepEqual(leader2.Seed(), promoted.Seed()) {
+		t.Errorf("promoted image differs from leader:\nleader   %+v\npromoted %+v",
+			leader2.Seed(), promoted.Seed())
+	}
+}

@@ -14,18 +14,32 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	csj "github.com/opencsj/csj"
+	"github.com/opencsj/csj/internal/faultfs"
 	"github.com/opencsj/csj/internal/store"
 )
 
 // ErrClosed reports an append to a closed log. A request that hits it
 // was never acknowledged, so nothing durable was promised.
 var ErrClosed = errors.New("durable: log closed")
+
+// ErrPoisoned reports an append to a log that has hit an unrecoverable
+// I/O failure and permanently fail-stopped (DESIGN.md §16). The
+// classic case is a failed fsync: POSIX lets the kernel drop the dirty
+// pages on fsync error, so a later fsync that *succeeds* still does
+// not make the earlier acknowledged appends durable — retrying would
+// convert an I/O error into silent loss. A poisoned log refuses every
+// subsequent mutation with an error wrapping this sentinel; reads of
+// already-acknowledged state are unaffected (the in-memory store keeps
+// serving), and the node degrades to read-only until an operator
+// drains, repairs, and re-follows it.
+var ErrPoisoned = errors.New("durable: log poisoned (unrecoverable I/O failure, node is read-only)")
 
 // FsyncPolicy selects when WAL appends reach stable storage.
 type FsyncPolicy int
@@ -96,6 +110,15 @@ type Options struct {
 	// of everything after the damage. Without it, corruption refuses to
 	// start with ErrCorrupt.
 	Repair bool
+	// FS is the filesystem seam every mutating operation goes through;
+	// nil selects faultfs.OS (the real disk). Tests and the faultguard
+	// harness pass a *faultfs.Inject to fail specific operations.
+	FS faultfs.FS
+
+	// flushTick, when set, replaces the FsyncEveryInterval ticker so
+	// same-package tests can drive the background flusher with a fake
+	// clock (no wall-clock sleeps under -race).
+	flushTick <-chan time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +127,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery == 0 {
 		o.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
 	}
 	return o
 }
@@ -122,6 +148,10 @@ type Observer interface {
 	// RecoveryTruncated fires when recovery dropped records (torn tail
 	// or repair), including replayed-at-SetObserver time.
 	RecoveryTruncated(records int64)
+	// WALPoisoned fires exactly once, when the log fail-stops on an
+	// unrecoverable I/O failure. It runs under the log's mutation lock
+	// and must not call back into the log.
+	WALPoisoned()
 }
 
 // Status is a point-in-time read of the log for /healthz.
@@ -136,6 +166,8 @@ type Status struct {
 	RecoveredCommunities     int    `json:"recovered_communities"`
 	RecoveryTruncatedRecords int64  `json:"recovery_truncated_records"`
 	RecoveryRepaired         bool   `json:"recovery_repaired,omitempty"`
+	Poisoned                 bool   `json:"poisoned,omitempty"`
+	PoisonCause              string `json:"poison_cause,omitempty"`
 }
 
 // Log is the write-ahead log plus checkpoint machinery of one store
@@ -143,18 +175,21 @@ type Status struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   faultfs.FS
 
 	appends   atomic.Int64
 	sinceCkpt atomic.Int64
 	ckpts     atomic.Int64
+	poisoned  atomic.Bool
 
-	mu     sync.Mutex
-	f      *os.File
-	seq    uint64
-	size   int64
-	dirty  bool
-	closed bool
-	obs    Observer
+	mu          sync.Mutex
+	f           faultfs.File
+	seq         uint64
+	size        int64
+	dirty       bool
+	closed      bool
+	poisonCause error
+	obs         Observer
 
 	seed      *store.Seed
 	recovered RecoveryStats
@@ -168,6 +203,7 @@ type Log struct {
 // with an error wrapping ErrCorrupt unless opts.Repair is set.
 func Open(dir string, opts Options) (*Log, error) {
 	l := &Log{dir: dir, opts: opts.withDefaults()}
+	l.fs = l.opts.FS
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: creating %s: %w", dir, err)
 	}
@@ -201,10 +237,44 @@ func (l *Log) SetObserver(obs Observer) {
 	}
 }
 
+// Poisoned reports the log has fail-stopped on an unrecoverable I/O
+// failure: every mutation returns an error wrapping ErrPoisoned, while
+// reads of already-acknowledged state keep working.
+func (l *Log) Poisoned() bool { return l.poisoned.Load() }
+
+// PoisonCause returns the first unrecoverable failure, or nil.
+func (l *Log) PoisonCause() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisonCause
+}
+
+// poisonLocked permanently fail-stops the log. Caller holds l.mu.
+func (l *Log) poisonLocked(cause error) {
+	if l.poisoned.Load() {
+		return
+	}
+	l.poisonCause = cause
+	l.poisoned.Store(true)
+	if l.obs != nil {
+		l.obs.WALPoisoned()
+	}
+}
+
+// poisonedErrLocked builds the pinned mutation error of a poisoned
+// log. Caller holds l.mu.
+func (l *Log) poisonedErrLocked() error {
+	return fmt.Errorf("%w: %v", ErrPoisoned, l.poisonCause)
+}
+
 // Status snapshots the log state for /healthz.
 func (l *Log) Status() Status {
 	l.mu.Lock()
 	seq := l.seq
+	var cause string
+	if l.poisonCause != nil {
+		cause = l.poisonCause.Error()
+	}
 	l.mu.Unlock()
 	return Status{
 		Enabled:                  true,
@@ -217,6 +287,8 @@ func (l *Log) Status() Status {
 		RecoveredCommunities:     l.recovered.RecoveredEntries,
 		RecoveryTruncatedRecords: l.recovered.TruncatedRecords,
 		RecoveryRepaired:         l.recovered.Repaired,
+		Poisoned:                 l.poisoned.Load(),
+		PoisonCause:              cause,
 	}
 }
 
@@ -243,11 +315,23 @@ func (l *Log) append(payload []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.poisoned.Load() {
+		return l.poisonedErrLocked()
+	}
 	if _, err := l.f.Write(frame); err != nil {
 		// A partial frame on disk would read as mid-log corruption once
 		// more records follow it; chop back to the last good boundary so
-		// the failure stays a torn tail.
-		l.f.Truncate(l.size) // best effort
+		// the failure stays a torn tail. Segments are opened O_APPEND, so
+		// the next write lands at the truncated end — no zero-filled hole
+		// from a stale file offset. The caller sees an error and never
+		// acknowledges, so the rolled-back record was never promised.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			// The partial frame is stuck on disk: any further append would
+			// bury it mid-log, turning a clean failure into corruption that
+			// recovery refuses to touch without -repair. Fail-stop instead.
+			l.poisonLocked(fmt.Errorf("durable: rolling back failed append: %w (after write error: %v)", terr, err))
+			return l.poisonedErrLocked()
+		}
 		return fmt.Errorf("durable: appending record: %w", err)
 	}
 	l.size += int64(len(frame))
@@ -264,12 +348,19 @@ func (l *Log) append(payload []byte) error {
 }
 
 func (l *Log) syncLocked() error {
+	if l.poisoned.Load() {
+		return l.poisonedErrLocked()
+	}
 	if !l.dirty {
 		return nil
 	}
 	start := time.Now()
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("durable: fsyncing wal: %w", err)
+		// fsyncgate: on fsync failure the kernel may drop the dirty pages
+		// and clear the error, so a retry that *succeeds* still would not
+		// make the acknowledged appends durable. Never retry — fail-stop.
+		l.poisonLocked(fmt.Errorf("durable: fsyncing wal: %w", err))
+		return l.poisonedErrLocked()
 	}
 	l.dirty = false
 	if l.obs != nil {
@@ -281,14 +372,21 @@ func (l *Log) syncLocked() error {
 // flushLoop is the FsyncEveryInterval background flusher.
 func (l *Log) flushLoop() {
 	defer close(l.flushDone)
-	t := time.NewTicker(l.opts.FsyncInterval)
-	defer t.Stop()
+	tick := l.opts.flushTick
+	if tick == nil {
+		t := time.NewTicker(l.opts.FsyncInterval)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
-		case <-t.C:
+		case <-tick:
 			l.mu.Lock()
 			if !l.closed {
-				l.syncLocked() // an fsync error here retries next tick
+				// A failed interval fsync poisons the log inside syncLocked
+				// (no retry — see the fsyncgate note there); later ticks are
+				// cheap no-ops on a poisoned log.
+				_ = l.syncLocked()
 			}
 			l.mu.Unlock()
 		case <-l.flushStop:
@@ -301,7 +399,10 @@ func (l *Log) flushLoop() {
 // automatic checkpoint. Part of store.Persistence; called by the store
 // after each mutation.
 func (l *Log) CheckpointDue() bool {
-	return l.opts.CheckpointEvery > 0 && l.sinceCkpt.Load() >= l.opts.CheckpointEvery
+	// A poisoned log never checkpoints: the store's background
+	// checkpoint goroutine would spin on BeginCheckpoint's pinned error.
+	return !l.poisoned.Load() &&
+		l.opts.CheckpointEvery > 0 && l.sinceCkpt.Load() >= l.opts.CheckpointEvery
 }
 
 // BeginCheckpoint rotates to a fresh WAL segment and returns a commit
@@ -321,29 +422,48 @@ func (l *Log) BeginCheckpoint(seed *store.Seed) (commit func() error, err error)
 	if l.closed {
 		return nil, ErrClosed
 	}
+	if l.poisoned.Load() {
+		return nil, l.poisonedErrLocked()
+	}
+	// Records in the outgoing segment that only checkpoint seed now
+	// carries must be durable before that segment can be collected.
+	// Sync BEFORE creating the new segment: a failure here aborts the
+	// rotation with zero state change — the old segment stays active and
+	// no commit (and so no GC) can run against non-durable records.
+	// Under FsyncAlways the segment is never dirty here, so this is a
+	// no-op; when it does fail, syncLocked has already poisoned the log.
+	if err := l.syncLocked(); err != nil {
+		return nil, err
+	}
 	newSeq := l.seq + 1
-	f, size, err := createSegment(l.dir, newSeq)
+	f, size, err := createSegment(l.fs, l.dir, newSeq)
 	if err != nil {
 		return nil, err
 	}
-	// Records in the old segment that only checkpoint seed now carries
-	// must be durable before the old segment can be collected; commit
-	// fsyncs the checkpoint, which supersedes them all.
 	old := l.f
-	old.Sync()
-	old.Close()
+	if cerr := old.Close(); cerr != nil {
+		// Close reports deferred write-back errors on some filesystems:
+		// records the commit would collect may not actually be durable.
+		// Abort the rotation — and because the old segment's descriptor is
+		// now in an unknown state, fail-stop. Remove the half-adopted new
+		// segment so recovery (and any future O_EXCL create) never sees it.
+		l.poisonLocked(fmt.Errorf("durable: closing outgoing segment: %w", cerr))
+		f.Close()
+		l.fs.Remove(filepath.Join(l.dir, segName(newSeq))) // best effort
+		return nil, l.poisonedErrLocked()
+	}
 	l.f, l.seq, l.size, l.dirty = f, newSeq, size, false
 	l.sinceCkpt.Store(0)
 	obs := l.obs
 
-	dir := l.dir
+	fs, dir := l.fs, l.dir
 	return func() error {
 		start := time.Now()
-		if err := writeCheckpoint(dir, newSeq, seed); err != nil {
+		if err := writeCheckpoint(fs, dir, newSeq, seed); err != nil {
 			return err
 		}
 		l.ckpts.Add(1)
-		removeBelow(dir, newSeq)
+		removeBelow(fs, dir, newSeq)
 		if obs != nil {
 			obs.CheckpointWritten(time.Since(start))
 		}
@@ -361,9 +481,17 @@ func (l *Log) Close() error {
 		l.mu.Unlock()
 		return nil
 	}
-	err := l.syncLocked()
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
+	var err error
+	if l.poisoned.Load() {
+		// A poisoned log already reported its failure to every writer and
+		// promised nothing since; draining a degraded node for repair must
+		// not fail shutdown over the same (already-surfaced) error.
+		l.f.Close()
+	} else {
+		err = l.syncLocked()
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
 	}
 	l.closed = true
 	l.mu.Unlock()

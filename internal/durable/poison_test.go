@@ -1,0 +1,337 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/opencsj/csj/internal/faultfs"
+)
+
+// This file pins the fail-stop contract of DESIGN.md §16: which I/O
+// failures poison the log (fsync, failed rollback, failed rotation
+// close) versus which return an error and continue (clean-rollback
+// append failures, checkpoint write failures), and that a poisoned
+// directory always recovers to the acknowledged state on reopen.
+
+// poisonObs records Observer callbacks; the Poisoned channel lets
+// fake-clock tests wait for the background flusher without sleeping.
+type poisonObs struct {
+	poisoned chan struct{}
+}
+
+func newPoisonObs() *poisonObs { return &poisonObs{poisoned: make(chan struct{})} }
+
+func (o *poisonObs) WALAppend()                      {}
+func (o *poisonObs) WALFsync(time.Duration)          {}
+func (o *poisonObs) CheckpointWritten(time.Duration) {}
+func (o *poisonObs) RecoveryTruncated(int64)         {}
+func (o *poisonObs) WALPoisoned()                    { close(o.poisoned) }
+
+// openInjected opens a log over a fresh Inject FS in dir.
+func openInjected(t *testing.T, dir string, opts Options) (*Log, *faultfs.Inject) {
+	t.Helper()
+	inj := faultfs.NewInject(faultfs.OS)
+	opts.FS = inj
+	return openLog(t, dir, opts), inj
+}
+
+// TestFaultFsyncFailurePoisonsForever: the fsyncgate case. The first
+// failed fsync permanently poisons the log — no retry, every later
+// mutation refused with ErrPoisoned — and Close on the poisoned log
+// returns nil so a drain-for-repair shutdown exits cleanly.
+func TestFaultFsyncFailurePoisonsForever(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{Fsync: FsyncAlways})
+
+	if err := l.AppendPut(1, 1, testComm("ok", 1, 4, 2)); err != nil {
+		t.Fatalf("clean append: %v", err)
+	}
+	// FsyncAlways appends are Write then Sync: fail the Sync, one-shot —
+	// the next fsync would succeed, which is exactly the sequence the
+	// fail-stop contract must NOT trust.
+	inj.Arm(&faultfs.Fault{At: inj.Ops() + 2, Class: faultfs.EIO})
+	err := l.AppendPut(2, 2, testComm("doomed", 2, 4, 2))
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append with failed fsync = %v, want ErrPoisoned", err)
+	}
+	if !l.Poisoned() || l.PoisonCause() == nil {
+		t.Fatalf("Poisoned()=%v cause=%v, want true with a cause", l.Poisoned(), l.PoisonCause())
+	}
+
+	inj.Arm(nil) // disk "recovers" — must change nothing
+	before := inj.Ops()
+	if err := l.AppendPut(3, 3, testComm("refused", 3, 4, 2)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poison = %v, want ErrPoisoned", err)
+	}
+	if _, err := l.BeginCheckpoint(l.Seed()); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("BeginCheckpoint after poison = %v, want ErrPoisoned", err)
+	}
+	if l.CheckpointDue() {
+		t.Error("CheckpointDue() on a poisoned log — the background checkpointer would spin")
+	}
+	if got := inj.Ops(); got != before {
+		t.Errorf("poisoned log touched the disk: %d ops after poison", got-before)
+	}
+	st := l.Status()
+	if !st.Poisoned || st.PoisonCause == "" {
+		t.Errorf("Status = %+v, want poisoned with cause", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("Close of poisoned log = %v, want nil (drain must exit cleanly)", err)
+	}
+
+	// Recovery must hold every acknowledged append (id 1). Append 2 is a
+	// ghost: its frame fully landed before the fsync failed, so it MAY
+	// come back — a failed ack promises nothing about absence. Append 3
+	// was refused before any disk op and must NOT come back.
+	l2 := openLog(t, dir, Options{Fsync: FsyncOff})
+	defer l2.Close()
+	got := make(map[int64]bool)
+	for _, e := range l2.Seed().Entries {
+		got[e.ID] = true
+	}
+	if !got[1] {
+		t.Error("acknowledged append 1 missing after recovery — silent loss")
+	}
+	if got[3] {
+		t.Error("append 3 was refused with ErrPoisoned yet recovered — poisoned log touched the disk")
+	}
+}
+
+// TestFaultIntervalFsyncPoisoning (fake clock, no wall-clock sleeps):
+// an acknowledged interval-mode append followed by a failed background
+// fsync must poison the log and fail the next mutation. The append was
+// acknowledged under interval fsync's weaker contract — "a crash can
+// lose the last interval" — but once the flush FAILS, pretending a
+// later flush could still cover it would be silent loss.
+func TestFaultIntervalFsyncPoisoning(t *testing.T) {
+	dir := t.TempDir()
+	tick := make(chan time.Time)
+	inj := faultfs.NewInject(faultfs.OS)
+	obs := newPoisonObs()
+	l, err := Open(dir, Options{
+		Fsync:     FsyncEveryInterval,
+		FS:        inj,
+		flushTick: tick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetObserver(obs)
+
+	if err := l.AppendPut(1, 1, testComm("acked", 1, 4, 2)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Next mutating op is the flusher's fsync.
+	inj.Arm(&faultfs.Fault{At: inj.Ops() + 1, Class: faultfs.EIO})
+	tick <- time.Time{}
+	select {
+	case <-obs.poisoned:
+	case <-time.After(10 * time.Second):
+		t.Fatal("flusher never poisoned the log after a failed interval fsync")
+	}
+	if err := l.AppendPut(2, 2, testComm("refused", 2, 4, 2)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("mutation after poisoned interval fsync = %v, want ErrPoisoned", err)
+	}
+	// Further ticks on a poisoned log are no-ops, not retries.
+	tick <- time.Time{}
+	if fired := inj.Fired(); fired != 1 {
+		t.Errorf("fault fired %d times, want 1 (no fsync retry)", fired)
+	}
+}
+
+// TestFaultAppendWriteFailureRollsBackAndContinues: a failed append
+// write whose rollback succeeds is NOT fatal — the frame is chopped at
+// the old boundary, the caller gets an error (never an ack), and the
+// log keeps accepting appends with no hole and no corruption.
+func TestFaultAppendWriteFailureRollsBackAndContinues(t *testing.T) {
+	for _, class := range []faultfs.Class{faultfs.EIO, faultfs.ShortWrite} {
+		t.Run(string(class), func(t *testing.T) {
+			dir := t.TempDir()
+			l, inj := openInjected(t, dir, Options{Fsync: FsyncAlways})
+
+			if err := l.AppendPut(1, 1, testComm("a", 1, 4, 2)); err != nil {
+				t.Fatal(err)
+			}
+			inj.Arm(&faultfs.Fault{At: inj.Ops() + 1, Class: class})
+			err := l.AppendPut(2, 2, testComm("b", 2, 4, 2))
+			if err == nil {
+				t.Fatal("append with failed write succeeded")
+			}
+			if errors.Is(err, ErrPoisoned) {
+				t.Fatalf("clean rollback poisoned the log: %v", err)
+			}
+			// The log continues: a short write's partial frame was chopped,
+			// and O_APPEND means this next write lands at the truncated end.
+			if err := l.AppendPut(3, 3, testComm("c", 3, 4, 2)); err != nil {
+				t.Fatalf("append after rollback: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := openLog(t, dir, Options{Fsync: FsyncOff})
+			defer l2.Close()
+			if tr := l2.Recovery().TruncatedRecords; tr != 0 {
+				t.Errorf("rollback left %d truncated records on disk", tr)
+			}
+			var ids []int64
+			for _, e := range l2.Seed().Entries {
+				ids = append(ids, e.ID)
+			}
+			if fmt.Sprint(ids) != "[1 3]" {
+				t.Errorf("recovered ids = %v, want [1 3]", ids)
+			}
+		})
+	}
+}
+
+// TestFaultAppendRollbackFailurePoisons: a failed write whose
+// truncate-rollback ALSO fails leaves a partial frame that further
+// appends would bury as mid-log corruption — so the log must poison,
+// and a later reopen must classify the partial frame as a torn tail
+// (clean truncation), never refuse to start.
+func TestFaultAppendRollbackFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{Fsync: FsyncAlways})
+
+	if err := l.AppendPut(1, 1, testComm("a", 1, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Sticky short-write: the append write lands half a frame, then the
+	// rollback truncate fails too.
+	inj.Arm(&faultfs.Fault{At: inj.Ops() + 1, Class: faultfs.ShortWrite, Sticky: true})
+	err := l.AppendPut(2, 2, testComm("b", 2, 4, 2))
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append with failed rollback = %v, want ErrPoisoned", err)
+	}
+	if err := l.AppendPut(3, 3, testComm("c", 3, 4, 2)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poison = %v, want ErrPoisoned", err)
+	}
+	inj.Arm(nil)
+	if err := l.Close(); err != nil {
+		t.Errorf("Close of poisoned log = %v, want nil", err)
+	}
+
+	// Reopen without Repair: the stuck partial frame is the final record
+	// — a torn tail, truncated silently, never ErrCorrupt.
+	l2 := openLog(t, dir, Options{Fsync: FsyncOff})
+	defer l2.Close()
+	if got := len(l2.Seed().Entries); got != 1 {
+		t.Errorf("recovered %d entries, want 1 (only the acknowledged append)", got)
+	}
+	if l2.Recovery().TruncatedBytes == 0 {
+		t.Error("recovery reports no truncated bytes; the partial frame vanished?")
+	}
+}
+
+// TestFaultCheckpointRotationAbortsOnSyncFailure (satellite 1): under
+// interval fsync with unflushed appends, a failed sync of the outgoing
+// segment must abort the rotation before any new segment exists —
+// committing would garbage-collect records that never reached disk.
+// The failed fsync itself poisons (fsyncgate), and the directory must
+// hold no half-created next segment.
+func TestFaultCheckpointRotationAbortsOnSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	// flushTick never fires: appends stay dirty until BeginCheckpoint
+	// itself must sync them.
+	l, inj := openInjected(t, dir, Options{
+		Fsync:     FsyncEveryInterval,
+		flushTick: make(chan time.Time),
+	})
+	defer l.Close()
+
+	if err := l.AppendPut(1, 1, testComm("dirty", 1, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(&faultfs.Fault{At: inj.Ops() + 1, Class: faultfs.EIO}) // the rotation sync
+	if _, err := l.BeginCheckpoint(l.Seed()); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("BeginCheckpoint with failed outgoing sync = %v, want ErrPoisoned", err)
+	}
+	ds, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.segments) != 1 || len(ds.checkpoints) != 0 {
+		t.Errorf("aborted rotation left segments %v checkpoints %v, want the original segment only",
+			ds.segments, ds.checkpoints)
+	}
+}
+
+// TestFaultCheckpointSegmentCreateFailureContinues: a failure while
+// creating the NEW segment aborts the rotation with no state change
+// and no poison — the WAL is intact, appends continue, and a retried
+// checkpoint succeeds (the half-created O_EXCL file must have been
+// removed, or the retry would fail EEXIST forever).
+func TestFaultCheckpointSegmentCreateFailureContinues(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{Fsync: FsyncAlways})
+	defer l.Close()
+
+	if err := l.AppendPut(1, 1, testComm("a", 1, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// FsyncAlways: nothing dirty at rotation, so the next ops are the
+	// new segment's create (open, header write, sync, dir sync). Fail
+	// the header write — after the O_EXCL create succeeded.
+	inj.Arm(&faultfs.Fault{At: inj.Ops() + 2, Class: faultfs.ENOSPC})
+	if _, err := l.BeginCheckpoint(l.Seed()); err == nil {
+		t.Fatal("BeginCheckpoint with failed segment create succeeded")
+	} else if errors.Is(err, ErrPoisoned) {
+		t.Fatalf("segment-create failure poisoned the log: %v", err)
+	}
+	if err := l.AppendPut(2, 2, testComm("b", 2, 4, 2)); err != nil {
+		t.Fatalf("append after aborted rotation: %v", err)
+	}
+	commit, err := l.BeginCheckpoint(l.Seed())
+	if err != nil {
+		t.Fatalf("retried BeginCheckpoint: %v (half-created segment left behind?)", err)
+	}
+	if err := commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+// TestFaultCheckpointWriteFailureLeavesWALIntact: a failure writing
+// the checkpoint file itself (after a successful rotation) is
+// return-and-continue — the WAL still holds every record, no GC ran,
+// and recovery reproduces the full acknowledged state.
+func TestFaultCheckpointWriteFailureLeavesWALIntact(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{Fsync: FsyncAlways})
+
+	for i := int64(1); i <= 3; i++ {
+		if err := l.AppendPut(i, uint64(i), testComm(fmt.Sprintf("c%d", i), i, 4, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit, err := l.BeginCheckpoint(l.Seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the checkpoint body write (tmp open is the next op).
+	inj.Arm(&faultfs.Fault{At: inj.Ops() + 2, Class: faultfs.ENOSPC})
+	if err := commit(); err == nil {
+		t.Fatal("commit with failed checkpoint write succeeded")
+	} else if errors.Is(err, ErrPoisoned) {
+		t.Fatalf("checkpoint write failure poisoned the log: %v", err)
+	}
+	if l.Poisoned() {
+		t.Error("checkpoint write failure poisoned the log")
+	}
+	if err := l.AppendPut(4, 4, testComm("c4", 4, 4, 2)); err != nil {
+		t.Fatalf("append after failed checkpoint: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, Options{Fsync: FsyncOff})
+	defer l2.Close()
+	if got := len(l2.Seed().Entries); got != 4 {
+		t.Fatalf("recovered %d entries, want 4 — the failed checkpoint lost acknowledged records", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"github.com/opencsj/csj/internal/faultfs"
 	"github.com/opencsj/csj/internal/store"
 )
 
@@ -236,7 +237,7 @@ func (l *Log) recover() error {
 		// Remove the checkpoints repair skipped, or the next restart
 		// would trip over the same damage and demand repair again.
 		for _, seq := range invalid {
-			os.Remove(filepath.Join(l.dir, ckptName(seq)))
+			l.fs.Remove(filepath.Join(l.dir, ckptName(seq)))
 		}
 		l.recovered.Repaired = true
 	}
@@ -244,7 +245,7 @@ func (l *Log) recover() error {
 
 	// Segments below the checkpoint are superseded garbage from a crash
 	// between checkpoint install and GC.
-	removeBelow(l.dir, base)
+	removeBelow(l.fs, l.dir, base)
 
 	rs := newReplayState(seed)
 	var live []uint64
@@ -273,11 +274,11 @@ func (l *Log) recover() error {
 			if fi != nil {
 				bytes += fi.Size() - scan.corruptAt
 			}
-			if err := truncateSegment(path, scan.corruptAt); err != nil {
+			if err := truncateSegment(l.fs, path, scan.corruptAt); err != nil {
 				return err
 			}
 			for _, dseq := range live[i+1:] {
-				os.Remove(filepath.Join(l.dir, segName(dseq)))
+				l.fs.Remove(filepath.Join(l.dir, segName(dseq)))
 			}
 			l.recovered.TruncatedRecords += dropped
 			l.recovered.TruncatedBytes += bytes
@@ -298,11 +299,11 @@ func (l *Log) recover() error {
 				l.recovered.TruncatedBytes += bytes
 				l.recovered.Repaired = true
 				for _, dseq := range live[i+1:] {
-					os.Remove(filepath.Join(l.dir, segName(dseq)))
+					l.fs.Remove(filepath.Join(l.dir, segName(dseq)))
 				}
 				live = live[:i+1]
 			}
-			if err := truncateSegment(path, scan.tornAt); err != nil {
+			if err := truncateSegment(l.fs, path, scan.tornAt); err != nil {
 				return err
 			}
 			l.recovered.TruncatedRecords++
@@ -317,7 +318,7 @@ func (l *Log) recover() error {
 	// Open the newest surviving segment for appends, or start fresh.
 	if n := len(live); n > 0 {
 		seq := live[n-1]
-		f, size, err := openSegmentForAppend(l.dir, seq)
+		f, size, err := openSegmentForAppend(l.fs, l.dir, seq)
 		if err != nil {
 			return err
 		}
@@ -325,15 +326,15 @@ func (l *Log) recover() error {
 			// The whole segment was torn away (crash during creation):
 			// rebuild it from scratch.
 			f.Close()
-			os.Remove(filepath.Join(l.dir, segName(seq)))
-			f, size, err = createSegment(l.dir, seq)
+			l.fs.Remove(filepath.Join(l.dir, segName(seq)))
+			f, size, err = createSegment(l.fs, l.dir, seq)
 			if err != nil {
 				return err
 			}
 		}
 		l.f, l.seq, l.size = f, seq, size
 	} else {
-		f, size, err := createSegment(l.dir, base)
+		f, size, err := createSegment(l.fs, l.dir, base)
 		if err != nil {
 			return err
 		}
@@ -344,8 +345,8 @@ func (l *Log) recover() error {
 
 // truncateSegment chops a segment at off and fsyncs, so the dropped
 // bytes can never resurface after the next crash.
-func truncateSegment(path string, off int64) error {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+func truncateSegment(fs faultfs.FS, path string, off int64) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("durable: opening %s for truncation: %w", path, err)
 	}

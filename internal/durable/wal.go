@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/opencsj/csj/internal/faultfs"
 )
 
 // On-disk layout of a durable store directory:
@@ -84,9 +86,15 @@ func scanDir(dir string) (dirState, error) {
 
 // createSegment creates wal-<seq>.log with its header, fsyncs the file
 // and the directory, and returns the open file positioned for appends.
-func createSegment(dir string, seq uint64) (*os.File, int64, error) {
+// O_APPEND matters beyond convention: the append path rolls back a
+// failed write with Truncate, and only O_APPEND guarantees the next
+// write lands at the truncated end rather than at a stale offset that
+// would leave a zero-filled hole. On any failure after the O_EXCL
+// create, the half-created file is removed — leaving it behind would
+// make every future rotation fail EEXIST.
+func createSegment(fs faultfs.FS, dir string, seq uint64) (faultfs.File, int64, error) {
 	path := filepath.Join(dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("durable: creating segment: %w", err)
 	}
@@ -95,14 +103,17 @@ func createSegment(dir string, seq uint64) (*os.File, int64, error) {
 	hdr = binary.LittleEndian.AppendUint64(hdr, seq)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
+		fs.Remove(path)
 		return nil, 0, fmt.Errorf("durable: writing segment header: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		fs.Remove(path)
 		return nil, 0, fmt.Errorf("durable: syncing segment header: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fs, dir); err != nil {
 		f.Close()
+		fs.Remove(path)
 		return nil, 0, err
 	}
 	return f, int64(segHeaderSize), nil
@@ -111,9 +122,9 @@ func createSegment(dir string, seq uint64) (*os.File, int64, error) {
 // openSegmentForAppend opens an existing segment at its current end.
 // size must be the validated logical size (recovery truncated any torn
 // tail before calling this).
-func openSegmentForAppend(dir string, seq uint64) (*os.File, int64, error) {
+func openSegmentForAppend(fs faultfs.FS, dir string, seq uint64) (faultfs.File, int64, error) {
 	path := filepath.Join(dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("durable: opening segment: %w", err)
 	}
@@ -128,16 +139,8 @@ func openSegmentForAppend(dir string, seq uint64) (*os.File, int64, error) {
 // syncDir fsyncs a directory so a just-created or just-renamed entry
 // survives a crash (POSIX requires this for the name, not just the
 // inode contents).
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("durable: opening dir for fsync: %w", err)
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+func syncDir(fs faultfs.FS, dir string) error {
+	if err := fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("durable: fsyncing dir: %w", err)
 	}
 	return nil
@@ -145,19 +148,19 @@ func syncDir(dir string) error {
 
 // removeBelow garbage-collects segments and checkpoints with seq below
 // keep. Best effort: a file that survives is re-collected next time.
-func removeBelow(dir string, keep uint64) {
+func removeBelow(fs faultfs.FS, dir string, keep uint64) {
 	st, err := scanDir(dir)
 	if err != nil {
 		return
 	}
 	for _, seq := range st.segments {
 		if seq < keep {
-			os.Remove(filepath.Join(dir, segName(seq)))
+			fs.Remove(filepath.Join(dir, segName(seq)))
 		}
 	}
 	for _, seq := range st.checkpoints {
 		if seq < keep {
-			os.Remove(filepath.Join(dir, ckptName(seq)))
+			fs.Remove(filepath.Join(dir, ckptName(seq)))
 		}
 	}
 }

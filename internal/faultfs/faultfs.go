@@ -1,0 +1,83 @@
+// Package faultfs is the filesystem seam under the durability layer
+// (DESIGN.md §16): a minimal File/FS interface pair covering exactly
+// the operations the write-ahead log performs on stable storage —
+// create/open, write, fsync, truncate, close, rename, remove, and
+// directory fsync — with a passthrough implementation over the os
+// package and a deterministic fault-injecting implementation for
+// tests and the `make faultguard` exploration gate.
+//
+// The seam exists because I/O *errors* are a different failure mode
+// from crashes: a kill -9 tears bytes but never lies, while a failed
+// fsync may silently drop acknowledged pages (the "fsyncgate"
+// semantics of POSIX error reporting). Only the mutating operations
+// are injectable; reads go straight to the os package — recovery
+// treats unreadable bytes as corruption already, and the fault model
+// this layer explores is "the write path errors", not "the disk
+// returns wrong data" (CRC framing covers that).
+package faultfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the mutable-file surface the durability layer uses. An
+// *os.File satisfies it directly (via osFile).
+type File interface {
+	// Write appends or writes at the current offset, like os.File.Write.
+	Write(p []byte) (int, error)
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Close releases the descriptor. On some filesystems close reports
+	// deferred write-back errors, so callers must not ignore it.
+	Close() error
+	// Truncate changes the file size, like os.File.Truncate.
+	Truncate(size int64) error
+	// Stat reports file metadata (used for append-resume sizing).
+	Stat() (os.FileInfo, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the mutating-filesystem surface the durability layer uses.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making just-created or just-renamed
+	// entries durable (POSIX requires this for the name, not just the
+	// inode contents).
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS over the os package — the production
+// default everywhere a faultfs.FS is accepted.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

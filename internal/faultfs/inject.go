@@ -1,0 +1,235 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Op identifies a class of mutating filesystem operation. Every call
+// through an Inject FS is counted and traced under one of these.
+type Op string
+
+const (
+	OpOpen     Op = "open"     // FS.OpenFile
+	OpWrite    Op = "write"    // File.Write
+	OpSync     Op = "sync"     // File.Sync
+	OpTruncate Op = "truncate" // File.Truncate
+	OpClose    Op = "close"    // File.Close
+	OpRename   Op = "rename"   // FS.Rename
+	OpRemove   Op = "remove"   // FS.Remove
+	OpSyncDir  Op = "syncdir"  // FS.SyncDir
+)
+
+// Class selects what an armed fault does when it fires.
+type Class string
+
+const (
+	// EIO fails the operation with ErrInjectedIO. One-shot by default:
+	// models a transient I/O error (the fsync-fail-then-success shape
+	// is an EIO armed on a sync op).
+	EIO Class = "eio"
+	// ENOSPC fails the operation with ErrInjectedNoSpace. Typically
+	// armed sticky: a full disk stays full.
+	ENOSPC Class = "enospc"
+	// ShortWrite applies only to write ops: half the buffer lands,
+	// then the call returns ErrInjectedNoSpace with the short count —
+	// the torn-frame shape that a best-effort truncate must clean up.
+	// On non-write ops it behaves like ENOSPC.
+	ShortWrite Class = "short"
+)
+
+// Sentinel errors returned by fired faults, wrapped in *fs.PathError
+// so callers see realistic os-layer errors. Portable stand-ins for
+// syscall.EIO / syscall.ENOSPC.
+var (
+	ErrInjectedIO      = errors.New("injected I/O error")
+	ErrInjectedNoSpace = errors.New("injected no space left on device")
+)
+
+// Fault describes one armed injection.
+type Fault struct {
+	// At is the 1-based global op index at which the fault fires
+	// (the Nth mutating operation seen by this Inject, across all
+	// files and FS-level calls).
+	At int64
+	// Class selects the failure behavior.
+	Class Class
+	// Sticky makes every operation at index >= At fail (a persistently
+	// full or dead disk). Non-sticky faults fire exactly once.
+	Sticky bool
+}
+
+// OpInfo is one entry in the recorded operation trace.
+type OpInfo struct {
+	Index int64 // 1-based global op index
+	Op    Op
+	Path  string
+}
+
+// Inject wraps an inner FS, counting every mutating operation and
+// failing the one(s) selected by Arm. With no fault armed it is a
+// transparent passthrough that still records the op trace — that
+// trace is how the faultguard harness enumerates injection points.
+type Inject struct {
+	inner FS
+
+	mu    sync.Mutex
+	n     int64
+	fault *Fault
+	fired int64
+	trace []OpInfo
+}
+
+// NewInject wraps inner (use faultfs.OS for a real disk underneath).
+func NewInject(inner FS) *Inject {
+	return &Inject{inner: inner}
+}
+
+// Arm installs f, replacing any previous fault and resetting the
+// fired counter. Arm(nil) disarms. The op counter and trace are NOT
+// reset — indices stay comparable across an enumerate-then-inject
+// sequence on the same Inject only if the workload is re-run on a
+// fresh one; harnesses should build a new Inject per experiment.
+func (i *Inject) Arm(f *Fault) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if f != nil {
+		cp := *f
+		i.fault = &cp
+	} else {
+		i.fault = nil
+	}
+	i.fired = 0
+}
+
+// Ops returns the number of mutating operations seen so far.
+func (i *Inject) Ops() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.n
+}
+
+// Fired returns how many times the armed fault has fired.
+func (i *Inject) Fired() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired
+}
+
+// Trace returns a copy of the recorded operation trace.
+func (i *Inject) Trace() []OpInfo {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]OpInfo, len(i.trace))
+	copy(out, i.trace)
+	return out
+}
+
+// step counts one operation and reports whether the armed fault fires
+// on it, returning the class to apply.
+func (i *Inject) step(op Op, path string) (Class, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.n++
+	i.trace = append(i.trace, OpInfo{Index: i.n, Op: op, Path: path})
+	f := i.fault
+	if f == nil {
+		return "", false
+	}
+	hit := i.n == f.At || (f.Sticky && i.n > f.At)
+	if !hit || (!f.Sticky && i.fired > 0) {
+		return "", false
+	}
+	i.fired++
+	return f.Class, true
+}
+
+func pathErr(op Op, path string, class Class) error {
+	cause := ErrInjectedIO
+	if class == ENOSPC || class == ShortWrite {
+		cause = ErrInjectedNoSpace
+	}
+	return &fs.PathError{Op: string(op), Path: path, Err: cause}
+}
+
+func (i *Inject) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if class, hit := i.step(OpOpen, name); hit {
+		return nil, pathErr(OpOpen, name, class)
+	}
+	f, err := i.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: i, f: f}, nil
+}
+
+func (i *Inject) Rename(oldpath, newpath string) error {
+	if class, hit := i.step(OpRename, newpath); hit {
+		return pathErr(OpRename, newpath, class)
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *Inject) Remove(name string) error {
+	if class, hit := i.step(OpRemove, name); hit {
+		return pathErr(OpRemove, name, class)
+	}
+	return i.inner.Remove(name)
+}
+
+func (i *Inject) SyncDir(dir string) error {
+	if class, hit := i.step(OpSyncDir, dir); hit {
+		return pathErr(OpSyncDir, dir, class)
+	}
+	return i.inner.SyncDir(dir)
+}
+
+// injectFile routes every mutating file op back through the parent
+// Inject's counter.
+type injectFile struct {
+	fs *Inject
+	f  File
+}
+
+func (w *injectFile) Write(p []byte) (int, error) {
+	if class, hit := w.fs.step(OpWrite, w.f.Name()); hit {
+		if class == ShortWrite && len(p) > 0 {
+			n, werr := w.f.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, pathErr(OpWrite, w.f.Name(), class)
+		}
+		return 0, pathErr(OpWrite, w.f.Name(), class)
+	}
+	return w.f.Write(p)
+}
+
+func (w *injectFile) Sync() error {
+	if class, hit := w.fs.step(OpSync, w.f.Name()); hit {
+		return pathErr(OpSync, w.f.Name(), class)
+	}
+	return w.f.Sync()
+}
+
+func (w *injectFile) Truncate(size int64) error {
+	if class, hit := w.fs.step(OpTruncate, w.f.Name()); hit {
+		return pathErr(OpTruncate, w.f.Name(), class)
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *injectFile) Close() error {
+	if class, hit := w.fs.step(OpClose, w.f.Name()); hit {
+		// Close the real descriptor anyway — the injected error models
+		// deferred write-back failure, not a leaked fd.
+		_ = w.f.Close()
+		return pathErr(OpClose, w.f.Name(), class)
+	}
+	return w.f.Close()
+}
+
+func (w *injectFile) Stat() (os.FileInfo, error) { return w.f.Stat() }
+func (w *injectFile) Name() string               { return w.f.Name() }

@@ -28,9 +28,23 @@ import (
 // but must stop receiving new work, so /readyz turns 503 while
 // /healthz stays 200. cmd/csjserve additionally answers 503 here
 // before seed-boot completes, via its bootstrap handler.
+//
+// A poisoned WAL (DESIGN.md §16) also answers 503: the node still
+// serves reads, but writes are refused, and readiness deliberately
+// reports the degradation so the cluster coordinator's prober stops
+// routing here and promotes the follower replica — exactly the
+// drain/repair/re-follow path of the README runbook.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if s.notReady.Load() {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.degraded() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":    "degraded",
+			"read_only": true,
+			"detail":    "write-ahead log poisoned; node serves reads only",
+		})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -225,7 +239,7 @@ func (s *Server) handleInternalCreate(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, http.StatusConflict, err)
 			return
 		}
-		s.writeErr(w, http.StatusInternalServerError, err)
+		s.writeMutationErr(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, info(e))

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/opencsj/csj/internal/durable"
+	"github.com/opencsj/csj/internal/faultfs"
+)
+
+// TestFaultDegradedReadOnlyServing is the end-to-end contract of
+// DESIGN.md §16's degraded mode: when the WAL poisons under a live
+// server, reads keep answering 200 from the lock-free snapshot, every
+// write gets the pinned 503 degraded body, /healthz stays 200 but
+// flips to "degraded" with the poison cause, /readyz turns 503 (so
+// probers promote the replica), and csj_wal_poisoned reads 1.
+func TestFaultDegradedReadOnlyServing(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInject(faultfs.OS)
+	dl, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(nil, Config{Durable: dl})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(16))
+	id := uploadCommunity(t, ts, "pre", randUsers(rng, 10, 4, 8))
+	id2 := uploadCommunity(t, ts, "pre2", randUsers(rng, 9, 4, 8))
+
+	// Healthy baseline: ready, not degraded.
+	doJSON(t, "GET", ts.URL+"/readyz", nil, http.StatusOK, nil)
+
+	// Poison the log: fail the fsync of the next ingest (write lands,
+	// sync fails — the fsyncgate shape).
+	inj.Arm(&faultfs.Fault{At: inj.Ops() + 2, Class: faultfs.EIO})
+	var degraded map[string]string
+	doJSON(t, "POST", ts.URL+"/communities",
+		CommunityPayload{Name: "doomed", Category: -1, Users: randUsers(rng, 8, 4, 8)},
+		http.StatusServiceUnavailable, &degraded)
+	if degraded["error"] != "degraded" {
+		t.Fatalf(`degraded body = %v, want pinned {"error":"degraded",...}`, degraded)
+	}
+
+	// Every further write is refused with the same pinned body, with no
+	// disk traffic behind it.
+	inj.Arm(nil)
+	doJSON(t, "POST", ts.URL+"/communities",
+		CommunityPayload{Name: "refused", Category: -1, Users: randUsers(rng, 8, 4, 8)},
+		http.StatusServiceUnavailable, &degraded)
+	if degraded["error"] != "degraded" {
+		t.Errorf("second write body = %v, want degraded", degraded)
+	}
+	doJSON(t, "DELETE", fmt.Sprintf("%s/communities/%d", ts.URL, id), nil,
+		http.StatusServiceUnavailable, nil)
+
+	// Reads: listing, single get, and a real join all serve from the
+	// snapshot as if nothing happened.
+	var list []CommunityInfo
+	doJSON(t, "GET", ts.URL+"/communities", nil, http.StatusOK, &list)
+	if len(list) != 2 || list[0].ID != id {
+		t.Errorf("degraded listing = %+v, want the two pre-poison communities", list)
+	}
+	var cells []MatrixCell
+	doJSON(t, "POST", ts.URL+"/matrix",
+		MatrixRequest{Communities: []int64{id, id2}, Method: "exminmax"}, http.StatusOK, &cells)
+	if len(cells) != 1 {
+		t.Errorf("degraded /matrix returned %d cells, want 1", len(cells))
+	}
+
+	// Liveness stays 200 but reports the degradation with its cause;
+	// readiness turns 503 so traffic drains to the replica.
+	var health HealthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if health.Status != "degraded" || !health.Durability.Poisoned || health.Durability.PoisonCause == "" {
+		t.Errorf("healthz = %+v, want degraded with poison cause", health)
+	}
+	var ready map[string]any
+	doJSON(t, "GET", ts.URL+"/readyz", nil, http.StatusServiceUnavailable, &ready)
+	if ready["status"] != "degraded" || ready["read_only"] != true {
+		t.Errorf(`readyz body = %v, want {"status":"degraded","read_only":true,...}`, ready)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "csj_wal_poisoned 1") {
+		t.Error("/metrics missing csj_wal_poisoned 1")
+	}
+
+	// Draining a degraded node shuts down cleanly: the poison error was
+	// already surfaced to every refused writer.
+	if err := s.Close(); err != nil {
+		t.Errorf("Close of degraded server = %v, want nil", err)
+	}
+}

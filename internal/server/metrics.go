@@ -57,6 +57,7 @@ type serverMetrics struct {
 	walFsyncSeconds   *metrics.Histogram
 	checkpointSeconds *metrics.Histogram
 	recoveryTruncated *metrics.Counter
+	walPoisoned       *metrics.Gauge
 
 	// Envelope-index series (DESIGN.md §12), fed by the indexed query
 	// engines through Options.OnIndexStats.
@@ -106,6 +107,8 @@ func newServerMetrics() *serverMetrics {
 			nil, nil),
 		recoveryTruncated: reg.Counter("csj_recovery_truncated_records_total",
 			"WAL records dropped at startup as a torn tail (or by -repair).", nil),
+		walPoisoned: reg.Gauge("csj_wal_poisoned",
+			"1 when the write-ahead log has fail-stopped on an unrecoverable I/O failure and the node serves read-only (DESIGN.md §16).", nil),
 		indexBoundChecks: reg.Counter("csj_index_bound_checks_total",
 			"Upper-bound evaluations performed by the envelope index.", nil),
 		indexPruned: reg.Counter("csj_index_candidates_pruned_total",
@@ -188,6 +191,11 @@ func (m *serverMetrics) CheckpointWritten(d time.Duration) {
 func (m *serverMetrics) RecoveryTruncated(n int64) {
 	m.recoveryTruncated.Add(n)
 }
+
+// WALPoisoned latches csj_wal_poisoned to 1; the gauge never resets
+// within a process — un-poisoning requires an operator repair and a
+// restart (see the README runbook).
+func (m *serverMetrics) WALPoisoned() { m.walPoisoned.Set(1) }
 
 // observeIndexStats feeds one indexed query's pruning tallies into the
 // envelope-index counters.

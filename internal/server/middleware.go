@@ -216,6 +216,34 @@ func (s *Server) writeOptionsErr(w http.ResponseWriter, err error) {
 	s.writeErr(w, http.StatusBadRequest, err)
 }
 
+// degraded reports the node is in read-only degraded mode: the
+// write-ahead log fail-stopped on an unrecoverable I/O failure
+// (DESIGN.md §16). Reads keep serving from the in-memory snapshot.
+func (s *Server) degraded() bool {
+	return s.cfg.Durable != nil && s.cfg.Durable.Poisoned()
+}
+
+// degradedBody is the pinned 503 body of every refused write on a
+// poisoned node, so clients and probes can tell "this node refuses
+// writes by design" apart from a bug (500). Keep it stable: the
+// faultguard harness and operator tooling match on it.
+var degradedBody = map[string]string{
+	"error":  "degraded",
+	"detail": "write-ahead log poisoned; node is read-only — drain, repair, and re-follow (see README runbook)",
+}
+
+// writeMutationErr maps a store mutation failure onto HTTP: a poisoned
+// WAL answers 503 with the pinned degraded body; anything else (closed
+// log during shutdown, encoding failure) stays a 500. Either way the
+// mutation was never acknowledged, so nothing durable was promised.
+func (s *Server) writeMutationErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, durable.ErrPoisoned) {
+		s.writeJSON(w, http.StatusServiceUnavailable, degradedBody)
+		return
+	}
+	s.writeErr(w, http.StatusInternalServerError, err)
+}
+
 // retryAfterSeconds suggests a retry delay proportional to the budget
 // the request just exhausted (at least one second).
 func retryAfterSeconds(budget time.Duration) int {

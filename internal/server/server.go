@@ -462,6 +462,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{Status: "ok"}
 	if s.cfg.Durable != nil {
 		resp.Durability = s.cfg.Durable.Status()
+		if resp.Durability.Poisoned {
+			// Still 200 — the process is alive and serving reads; the
+			// degradation itself is /readyz's job (and the poisoned/
+			// poison_cause fields below carry the detail).
+			resp.Status = "degraded"
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -493,7 +499,7 @@ func (s *Server) handleCreateCommunity(w http.ResponseWriter, r *http.Request) {
 	// the WAL — the 201 below is the durability acknowledgement.
 	e, err := s.store.Create(c)
 	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, err)
+		s.writeMutationErr(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, info(e))
@@ -571,7 +577,7 @@ func (s *Server) handleDeleteCommunity(w http.ResponseWriter, r *http.Request) {
 	// their pre-delete snapshots and finish consistently.
 	ok, err := s.store.Delete(id)
 	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, err)
+		s.writeMutationErr(w, err)
 		return
 	}
 	if !ok {
